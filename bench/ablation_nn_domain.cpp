@@ -1,0 +1,74 @@
+// Ablation A4 (§6.6): the abstract domain used for the network transformer
+// F#. ReluVal-style symbolic bounds vs plain intervals: tightness of the
+// abstract controller step (reachable-command count, output widths) and
+// end-to-end proof power.
+
+#include <cstdio>
+#include <iostream>
+
+#include "acas_bench_common.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nncs;
+  using namespace nncs::bench;
+  namespace ax = nncs::acasxu;
+
+  ax::ScenarioConfig scenario;
+  scenario.num_arcs = 16;
+  scenario.num_headings = 4;
+  const auto cells = ax::make_initial_cells(scenario);
+  const auto error = ax::make_error_region(scenario);
+  const auto target = ax::make_target_region(scenario);
+  const TaylorIntegrator integrator;
+
+  Table table("ablation_nn_domain",
+              {"domain", "avg_commands_per_step", "avg_output_width", "proved_cells",
+               "time_s"});
+  for (const NnDomain domain :
+       {NnDomain::kInterval, NnDomain::kAffine, NnDomain::kSymbolic}) {
+    AcasSystem system = make_acas_system(domain);
+    // Tightness of one abstract controller execution per cell.
+    double total_commands = 0.0;
+    double total_width = 0.0;
+    std::size_t steps = 0;
+    for (const auto& cell : cells) {
+      const auto step = system.controller->step_abstract(cell.state.box, cell.state.command);
+      total_commands += static_cast<double>(step.commands.size());
+      for (std::size_t j = 0; j < step.network_output.dim(); ++j) {
+        total_width += step.network_output[j].width();
+      }
+      ++steps;
+    }
+    // End-to-end proof power.
+    ReachConfig config;
+    config.control_steps = 20;
+    config.integration_steps = 10;
+    config.gamma = 5;
+    config.integrator = &integrator;
+    int proved = 0;
+    Stopwatch watch;
+    for (const auto& cell : cells) {
+      const auto result =
+          reach_analyze(system.loop, SymbolicSet{cell.state}, error, target, config);
+      proved += result.outcome == ReachOutcome::kProvedSafe ? 1 : 0;
+    }
+    table.add_row({domain == NnDomain::kInterval
+                       ? "interval"
+                       : (domain == NnDomain::kAffine ? "zonotope" : "symbolic"),
+                   Table::num(total_commands / static_cast<double>(steps), 4),
+                   Table::num(total_width / static_cast<double>(steps * 5), 4),
+                   std::to_string(proved), Table::num(watch.seconds(), 4)});
+  }
+  table.print_all(std::cout);
+  std::printf(
+      "expected shape: the relational domains (symbolic, zonotope) return fewer\n"
+      "reachable commands and far narrower score enclosures than plain intervals,\n"
+      "which is what makes the closed-loop analysis converge (the paper builds F#\n"
+      "on ReluVal for this reason and cites affine arithmetic as the alternative).\n"
+      "On these networks the zonotope domain wins outright: its argmin test gets\n"
+      "complete pairwise cancellation of shared noise symbols, where the\n"
+      "lower/upper-bound symbolic domain loses the relaxation correlation.\n");
+  return 0;
+}

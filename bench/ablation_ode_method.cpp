@@ -1,0 +1,56 @@
+// Ablation A5 (§6.2, validated simulation): interval Euler vs interval
+// Taylor series of increasing order on the ACAS Xu kinematics. Reports the
+// end-of-period enclosure widths and runtime for a fixed step budget —
+// the accuracy ladder that justifies the Taylor-based engine.
+
+#include <cstdio>
+#include <iostream>
+
+#include "acas_bench_common.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nncs;
+  namespace ax = nncs::acasxu;
+
+  const auto plant = ax::make_dynamics();
+  ax::ScenarioConfig scenario;
+  const Vec center = ax::initial_state(scenario, 0.6, 0.5);
+  const Box cell{Interval::centered(center[0], 40.0), Interval::centered(center[1], 40.0),
+                 Interval::centered(center[2], 0.005), Interval{700.0}, Interval{600.0}};
+  const Vec command{ax::turn_rate(ax::kSL)};
+  constexpr int kSteps = 10;
+  constexpr int kRepeats = 50;
+
+  Table table("ablation_ode_method",
+              {"integrator", "end_x_width_ft", "end_y_width_ft", "end_psi_width_rad",
+               "time_ms_per_period"});
+  auto measure = [&](const char* name, const ValidatedIntegrator& integrator) {
+    Stopwatch watch;
+    Flowpipe pipe;
+    for (int r = 0; r < kRepeats; ++r) {
+      pipe = simulate(*plant, integrator, cell, command, 1.0, kSteps);
+    }
+    const double ms = watch.millis() / kRepeats;
+    if (!pipe.ok) {
+      table.add_row({name, "failed", "failed", "failed", Table::num(ms, 4)});
+      return;
+    }
+    table.add_row({name, Table::num(pipe.end[ax::kIdxX].width(), 5),
+                   Table::num(pipe.end[ax::kIdxY].width(), 5),
+                   Table::num(pipe.end[ax::kIdxPsi].width(), 5), Table::num(ms, 4)});
+  };
+
+  const EulerIntegrator euler;
+  measure("euler", euler);
+  for (const int order : {1, 2, 3, 4, 6}) {
+    const TaylorIntegrator taylor(TaylorIntegrator::Config{order, {}});
+    measure(("taylor_k" + std::to_string(order)).c_str(), taylor);
+  }
+  table.print_all(std::cout);
+  std::printf(
+      "expected shape: Euler and taylor_k1 are first order (visibly wider end\n"
+      "boxes); widths converge by k ~ 3-4 with modest extra cost per order.\n");
+  return 0;
+}

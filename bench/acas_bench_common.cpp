@@ -1,0 +1,153 @@
+#include "acas_bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/monitor.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+
+namespace nncs::bench {
+
+AcasSystem make_acas_system(NnDomain domain) {
+  const acasxu::TrainingConfig training;
+  const auto networks = acasxu::ensure_networks("acasxu_nets_cache", training);
+  AcasSystem system;
+  system.plant = acasxu::make_dynamics();
+  system.controller = acasxu::make_controller(networks, domain);
+  system.loop = ClosedLoop{system.plant.get(), system.controller.get(), 1.0};
+  return system;
+}
+
+BenchScale default_scale() {
+  const double scale = env_scale();
+  BenchScale s;
+  s.num_arcs = std::max<std::size_t>(8, static_cast<std::size_t>(32 * scale));
+  s.num_headings = std::max<std::size_t>(4, static_cast<std::size_t>(8 * scale));
+  s.max_depth = 1;
+  return s;
+}
+
+namespace {
+
+std::filesystem::path cache_path(std::size_t arcs, std::size_t headings, int depth) {
+  std::ostringstream oss;
+  oss << "acas_fig9_cache_" << arcs << "x" << headings << "d" << depth << ".csv";
+  return oss.str();
+}
+
+bool load_cache(const std::filesystem::path& path, AcasRunResult& out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return false;
+  }
+  std::istringstream hs(header);
+  std::size_t depth_levels = 0;
+  hs >> out.root_cells >> out.coverage_percent >> out.wall_seconds >> depth_levels;
+  if (!hs) {
+    return false;
+  }
+  out.proved_by_depth.resize(depth_levels);
+  for (auto& n : out.proved_by_depth) {
+    hs >> n;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    CellRecord rec;
+    int proved = 0;
+    ls >> rec.root_index >> rec.depth >> rec.bearing_lo >> rec.bearing_hi >> proved >>
+        rec.outcome >> rec.seconds;
+    if (!ls) {
+      return false;
+    }
+    rec.proved = proved != 0;
+    out.leaves.push_back(std::move(rec));
+  }
+  return !out.leaves.empty();
+}
+
+void save_cache(const std::filesystem::path& path, const AcasRunResult& result) {
+  std::ofstream outf(path);
+  outf << result.root_cells << ' ' << result.coverage_percent << ' ' << result.wall_seconds
+       << ' ' << result.proved_by_depth.size();
+  for (const auto n : result.proved_by_depth) {
+    outf << ' ' << n;
+  }
+  outf << '\n';
+  for (const auto& rec : result.leaves) {
+    outf << rec.root_index << ' ' << rec.depth << ' ' << rec.bearing_lo << ' '
+         << rec.bearing_hi << ' ' << (rec.proved ? 1 : 0) << ' ' << rec.outcome << ' '
+         << rec.seconds << '\n';
+  }
+}
+
+}  // namespace
+
+AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_headings,
+                                       int max_depth) {
+  AcasRunResult result;
+  result.num_arcs = num_arcs;
+  result.num_headings = num_headings;
+  result.max_depth = max_depth;
+  const auto path = cache_path(num_arcs, num_headings, max_depth);
+  if (load_cache(path, result)) {
+    std::printf("[acas-bench] loaded cached verification from %s\n", path.string().c_str());
+    return result;
+  }
+
+  std::printf("[acas-bench] running verification (%zu arcs x %zu headings, depth %d)...\n",
+              num_arcs, num_headings, max_depth);
+  AcasSystem system = make_acas_system();
+  acasxu::ScenarioConfig scenario;
+  scenario.num_arcs = num_arcs;
+  scenario.num_headings = num_headings;
+  const auto cells = acasxu::make_initial_cells(scenario);
+  const auto error = acasxu::make_error_region(scenario);
+  const auto target = acasxu::make_target_region(scenario);
+
+  const TaylorIntegrator integrator;
+  VerifyConfig config;
+  config.reach.control_steps = 20;      // τ = 20 s (paper)
+  config.reach.integration_steps = 10;  // M = 10 (paper)
+  config.reach.gamma = 5;               // Γ = P (paper)
+  config.reach.integrator = &integrator;
+  config.max_refinement_depth = max_depth;
+  config.split_dims = acasxu::split_dimensions();
+  config.threads = env_threads();
+
+  Stopwatch watch;
+  const Verifier verifier(system.loop, error, target);
+  const VerifyReport report = verifier.verify(acasxu::to_symbolic_set(cells), config);
+
+  result.root_cells = report.root_cells;
+  result.coverage_percent = report.coverage_percent;
+  result.proved_by_depth = report.proved_by_depth;
+  result.wall_seconds = watch.seconds();
+  result.leaves.reserve(report.leaves.size());
+  for (const auto& leaf : report.leaves) {
+    CellRecord rec;
+    rec.root_index = leaf.root_index;
+    rec.depth = leaf.depth;
+    rec.bearing_lo = cells[leaf.root_index].bearing_lo;
+    rec.bearing_hi = cells[leaf.root_index].bearing_hi;
+    rec.proved = leaf.outcome == ReachOutcome::kProvedSafe;
+    rec.outcome = to_string(leaf.outcome);
+    rec.seconds = leaf.stats.seconds;
+    result.leaves.push_back(std::move(rec));
+  }
+  save_cache(path, result);
+  return result;
+}
+
+}  // namespace nncs::bench

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared infrastructure for the ACAS Xu figure benches: the trained
+// controller (cached on disk), a standard verification run (cached as CSV so
+// fig9a / fig9b / headline share one expensive computation), and common
+// formatting helpers.
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "acasxu/controller.hpp"
+#include "acasxu/dynamics.hpp"
+#include "acasxu/scenario.hpp"
+#include "acasxu/training_pipeline.hpp"
+#include "core/verifier.hpp"
+
+namespace nncs::bench {
+
+/// The assembled ACAS Xu closed loop (owning all parts).
+struct AcasSystem {
+  std::unique_ptr<Dynamics> plant;
+  std::unique_ptr<NeuralController> controller;
+  ClosedLoop loop;
+  acasxu::ScenarioConfig scenario;
+};
+
+/// Load (or train once and cache) the 5 advisory networks and assemble the
+/// closed loop with the paper's parameters (T = 1 s).
+AcasSystem make_acas_system(NnDomain domain = NnDomain::kSymbolic);
+
+/// One per-cell verification record, flattened for CSV caching.
+struct CellRecord {
+  std::size_t root_index = 0;
+  int depth = 0;
+  /// Bearing/heading ranges of the *root* cell this leaf descends from.
+  double bearing_lo = 0.0;
+  double bearing_hi = 0.0;
+  bool proved = false;
+  /// ReachOutcome as its string name.
+  std::string outcome;
+  double seconds = 0.0;
+};
+
+struct AcasRunResult {
+  std::vector<CellRecord> leaves;
+  std::size_t root_cells = 0;
+  double coverage_percent = 0.0;
+  std::vector<std::size_t> proved_by_depth;
+  double wall_seconds = 0.0;
+  std::size_t num_arcs = 0;
+  std::size_t num_headings = 0;
+  int max_depth = 0;
+};
+
+/// Run the standard §7 verification at the given partition scale, or load
+/// identical cached results from `acas_fig9_cache_<arcs>x<headings>d<depth>.csv`
+/// in the working directory. The cache also stores the wall-clock of the
+/// original run so timing rows stay meaningful.
+AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_headings,
+                                       int max_depth);
+
+/// Default bench-scale partition (scaled by NNCS_SCALE).
+struct BenchScale {
+  std::size_t num_arcs;
+  std::size_t num_headings;
+  int max_depth;
+};
+BenchScale default_scale();
+
+}  // namespace nncs::bench

@@ -1,0 +1,71 @@
+// Ablation A7 (§8 future work): complementary falsification. Searches for
+// concrete colliding trajectories per bearing region and reports the most
+// critical minimum separation found — identifying whether the "not proved"
+// regions of Fig 9a contain real violations or only abstraction looseness.
+
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "acas_bench_common.hpp"
+#include "core/falsifier.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nncs;
+  using namespace nncs::bench;
+  namespace ax = nncs::acasxu;
+  constexpr double kPi = std::numbers::pi;
+
+  AcasSystem system = make_acas_system();
+  ax::ScenarioConfig scenario;
+  const auto error = ax::make_error_region(scenario);
+  const auto target = ax::make_target_region(scenario);
+  const auto robustness = ax::make_robustness(scenario);
+
+  Table table("falsification", {"bearing_region", "simulations", "min_separation_ft",
+                                "collision_found", "time_s"});
+  struct Region {
+    const char* name;
+    double lo;
+    double hi;
+  };
+  // Region bounds are bearings in multiples of pi (theta convention:
+  // 0 = ahead, +left / -right, +-1 = behind); the sampler maps its first
+  // parameter linearly over [-pi, pi).
+  const Region regions[] = {
+      {"behind", 0.85, 1.0},    {"left-crossing", 0.25, 0.6}, {"ahead-left", 0.03, 0.2},
+      {"ahead", -0.08, 0.08},   {"ahead-right", -0.2, -0.03}, {"right-crossing", -0.6, -0.25},
+      {"behind-2", -1.0, -0.85},
+  };
+  for (const auto& region : regions) {
+    const double frac_lo = (region.lo + 1.0) / 2.0;  // bearing/pi -> sampler fraction
+    const double frac_hi = (region.hi + 1.0) / 2.0;
+    const InitialSampler base = ax::make_sampler(scenario);
+    const InitialSampler restricted = [&base, frac_lo, frac_hi](const Vec& p) {
+      return base(Vec{frac_lo + (frac_hi - frac_lo) * p[0], p[1]});
+    };
+    FalsifierConfig config;
+    config.param_dim = 2;
+    config.random_samples = 300;
+    config.local_iterations = 300;
+    config.max_steps = 20;
+    config.substeps = 10;
+    Stopwatch watch;
+    const auto result =
+        Falsifier(config).run(system.loop, restricted, error, target, robustness);
+    table.add_row({region.name, std::to_string(result.simulations),
+                   Table::num(result.best_robustness + scenario.collision_radius, 5),
+                   result.falsified ? "YES" : "no", Table::num(watch.seconds(), 4)});
+  }
+  table.print_all(std::cout);
+  std::printf(
+      "interpretation: separations comfortably above 500 ft in a region mean its\n"
+      "red cells (Fig 9a) are abstraction looseness; separations near/below 500 ft\n"
+      "expose real weaknesses of the trained controller (cf. §7.2's observation\n"
+      "that crossing geometries are the critical ones). Bearing fractions are\n"
+      "mapped over [-pi, pi).\n");
+  (void)kPi;
+  return 0;
+}

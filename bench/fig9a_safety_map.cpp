@@ -1,0 +1,73 @@
+// Experiment F9a (paper Fig 9a): the initial states for which the system
+// was proved safe (green / '#','+') and those for which it could not be
+// proved safe (red / 'x'), over the ribbon of initial (x0, y0, psi0).
+//
+// Prints an ASCII map (columns = intruder bearing, rows = heading within
+// the penetration cone) plus a per-root-cell CSV with the verdict, so the
+// figure can be replotted exactly.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "acas_bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nncs;
+  using namespace nncs::bench;
+
+  const BenchScale scale = default_scale();
+  const AcasRunResult run =
+      run_or_load_verification(scale.num_arcs, scale.num_headings, scale.max_depth);
+
+  // Aggregate leaves per root cell: fully proved (at depth 0 '#', via
+  // refinement '+') or not fully proved ('x').
+  struct RootAgg {
+    bool any_fail = false;
+    bool any_refined = false;
+  };
+  std::map<std::size_t, RootAgg> roots;
+  for (const auto& leaf : run.leaves) {
+    auto& agg = roots[leaf.root_index];
+    agg.any_fail = agg.any_fail || !leaf.proved;
+    agg.any_refined = agg.any_refined || leaf.depth > 0;
+  }
+
+  std::printf("\nFig 9a safety map — '#' proved (depth 0), '+' proved via refinement, "
+              "'x' not proved\ncolumns: bearing -pi..pi (0 = dead ahead); rows: heading "
+              "within penetration cone\n\n");
+  for (std::size_t h = 0; h < run.num_headings; ++h) {
+    for (std::size_t a = 0; a < run.num_arcs; ++a) {
+      const std::size_t root = a * run.num_headings + h;
+      const auto it = roots.find(root);
+      char c = '?';
+      if (it != roots.end()) {
+        c = it->second.any_fail ? 'x' : (it->second.any_refined ? '+' : '#');
+      }
+      std::printf("%c", c);
+    }
+    std::printf("\n");
+  }
+
+  // Per-root verdict rows (proved / refined / failed).
+  Table table("fig9a_safety_map",
+              {"root_cell", "bearing_lo_rad", "bearing_hi_rad", "verdict"});
+  std::map<std::size_t, std::pair<double, double>> bearings;
+  for (const auto& leaf : run.leaves) {
+    bearings[leaf.root_index] = {leaf.bearing_lo, leaf.bearing_hi};
+  }
+  for (const auto& [root, agg] : roots) {
+    table.add_row({std::to_string(root), Table::num(bearings[root].first, 4),
+                   Table::num(bearings[root].second, 4),
+                   agg.any_fail ? "not-proved" : (agg.any_refined ? "proved-refined"
+                                                                  : "proved")});
+  }
+  table.print_csv(std::cout);
+
+  std::printf("\ncoverage: %.1f %%  (paper: 90.3 %% at 629x316/depth-2 scale)\n",
+              run.coverage_percent);
+  std::printf("expected shape: green at the bearing extremes (intruder behind / "
+              "overtaking) and red concentrated in the crossing geometries.\n");
+  return 0;
+}

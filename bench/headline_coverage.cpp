@@ -1,0 +1,48 @@
+// Experiment HL (paper §7.2 headline numbers): the full verification run —
+// total coverage c, proved-cell counts by refinement depth, and wall time.
+// The paper reports c = 90.3 % after ~12 days on 2x12-core Xeons at a
+// 629x316 partition with depth-2 refinement; this bench runs the identical
+// pipeline at a laptop-scale partition (NNCS_SCALE to enlarge).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "acas_bench_common.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nncs;
+  using namespace nncs::bench;
+
+  // The headline run goes one refinement level deeper than the map benches.
+  const BenchScale scale = default_scale();
+  const AcasRunResult run =
+      run_or_load_verification(scale.num_arcs, scale.num_headings, scale.max_depth + 1);
+
+  Table table("headline_coverage", {"metric", "value", "paper_reference"});
+  table.add_row({"partition_cells", std::to_string(run.root_cells), "198764"});
+  table.add_row({"refinement_depth", std::to_string(run.max_depth), "2"});
+  table.add_row({"coverage_pct", Table::num(run.coverage_percent, 4), "90.3"});
+  for (std::size_t d = 0; d < run.proved_by_depth.size(); ++d) {
+    table.add_row({"proved_at_depth_" + std::to_string(d),
+                   std::to_string(run.proved_by_depth[d]), "-"});
+  }
+  std::map<std::string, int> outcome_counts;
+  for (const auto& leaf : run.leaves) {
+    ++outcome_counts[leaf.outcome];
+  }
+  for (const auto& [outcome, count] : outcome_counts) {
+    table.add_row({"leaves_" + outcome, std::to_string(count), "-"});
+  }
+  table.add_row({"wall_time_s", Table::num(run.wall_seconds, 4), "~1.04e6 (12 days)"});
+  table.add_row({"threads", std::to_string(env_threads()), "48"});
+  table.print_all(std::cout);
+
+  std::printf(
+      "\nNote: absolute coverage is below the paper's 90.3%% because the bench-scale\n"
+      "cells are orders of magnitude coarser (scale up with NNCS_SCALE to approach\n"
+      "paper granularity; coverage rises monotonically with partition resolution).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// M1: google-benchmark micro-benchmarks for the computational kernels:
+// interval arithmetic, Taylor steps, network propagation (concrete,
+// interval, symbolic), the abstract controller step and one full validated
+// control period.
+
+#include <benchmark/benchmark.h>
+
+#include "acas_bench_common.hpp"
+#include "nn/interval_prop.hpp"
+#include "nn/symbolic_prop.hpp"
+#include "ode/concrete_integrator.hpp"
+
+namespace {
+
+using namespace nncs;
+namespace ax = nncs::acasxu;
+
+const Box& acas_cell() {
+  static const Box cell = [] {
+    ax::ScenarioConfig scenario;
+    const Vec center = ax::initial_state(scenario, 0.6, 0.5);
+    return Box{Interval::centered(center[0], 40.0), Interval::centered(center[1], 40.0),
+               Interval::centered(center[2], 0.005), Interval{700.0}, Interval{600.0}};
+  }();
+  return cell;
+}
+
+bench::AcasSystem& acas_system() {
+  static bench::AcasSystem system = bench::make_acas_system();
+  return system;
+}
+
+void BM_IntervalArithmetic(benchmark::State& state) {
+  Interval x(0.3, 0.4);
+  Interval y(1.2, 1.3);
+  for (auto _ : state) {
+    Interval z = x * y + sin(x) * cos(y) - sqr(x);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_IntervalArithmetic);
+
+void BM_TaylorStepAcas(benchmark::State& state) {
+  const auto plant = ax::make_dynamics();
+  const TaylorIntegrator integrator;
+  const Vec command{ax::turn_rate(ax::kWL)};
+  for (auto _ : state) {
+    auto step = integrator.step(*plant, acas_cell(), command, 0.1);
+    benchmark::DoNotOptimize(step);
+  }
+}
+BENCHMARK(BM_TaylorStepAcas);
+
+void BM_Rk4StepAcas(benchmark::State& state) {
+  const auto plant = ax::make_dynamics();
+  const Vec s{1000.0, 7000.0, 3.0, 700.0, 600.0};
+  const Vec command{ax::turn_rate(ax::kWL)};
+  for (auto _ : state) {
+    Vec next = rk4_step(*plant, s, command, 0.1);
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_Rk4StepAcas);
+
+void BM_NetworkConcreteEval(benchmark::State& state) {
+  const auto& net = acas_system().controller->networks().front();
+  const Vec x{-0.19, 0.05, 0.2, 0.045, 0.0};
+  for (auto _ : state) {
+    Vec y = net.eval(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_NetworkConcreteEval);
+
+void BM_NetworkIntervalProp(benchmark::State& state) {
+  const auto& net = acas_system().controller->networks().front();
+  const Box x(5, Interval{-0.05, 0.05});
+  for (auto _ : state) {
+    Box y = interval_propagate(net, x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_NetworkIntervalProp);
+
+void BM_NetworkSymbolicProp(benchmark::State& state) {
+  const auto& net = acas_system().controller->networks().front();
+  const Box x(5, Interval{-0.05, 0.05});
+  for (auto _ : state) {
+    auto bounds = symbolic_propagate(net, x);
+    benchmark::DoNotOptimize(bounds);
+  }
+}
+BENCHMARK(BM_NetworkSymbolicProp);
+
+void BM_AbstractControllerStep(benchmark::State& state) {
+  auto& system = acas_system();
+  for (auto _ : state) {
+    auto step = system.controller->step_abstract(acas_cell(), ax::kCoc);
+    benchmark::DoNotOptimize(step);
+  }
+}
+BENCHMARK(BM_AbstractControllerStep);
+
+void BM_ValidatedControlPeriod(benchmark::State& state) {
+  auto& system = acas_system();
+  const TaylorIntegrator integrator;
+  const Vec command{ax::turn_rate(ax::kCoc)};
+  for (auto _ : state) {
+    Flowpipe pipe = simulate(*system.plant, integrator, acas_cell(), command, 1.0, 10);
+    benchmark::DoNotOptimize(pipe);
+  }
+}
+BENCHMARK(BM_ValidatedControlPeriod);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/// ACAS Xu system-level safety verification (the paper's §7 experiment at
+/// example scale): partition the initial encounter geometries, run the
+/// reachability analysis per cell with split refinement, and print the
+/// safe / not-proved map plus the coverage metric.
+///
+/// Usage: acasxu_verify [num_arcs] [num_headings] [max_depth]
+/// The 5 advisory networks are trained on first use and cached in
+/// ./acasxu_nets_cache/.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "acasxu/controller.hpp"
+#include "acasxu/dynamics.hpp"
+#include "acasxu/scenario.hpp"
+#include "acasxu/training_pipeline.hpp"
+#include "core/verifier.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nncs;
+  namespace ax = nncs::acasxu;
+
+  ax::ScenarioConfig scenario;
+  scenario.num_arcs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+  scenario.num_headings = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+  const int max_depth = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  std::printf("ACAS Xu verification: %zu arcs x %zu headings, refinement depth %d\n",
+              scenario.num_arcs, scenario.num_headings, max_depth);
+
+  std::printf("loading / training the 5 advisory networks...\n");
+  const ax::TrainingConfig training;
+  const auto networks = ax::ensure_networks("acasxu_nets_cache", training);
+
+  const auto plant = ax::make_dynamics();
+  const auto controller = ax::make_controller(networks);
+  const ClosedLoop system{plant.get(), controller.get(), 1.0};
+
+  const auto cells = ax::make_initial_cells(scenario);
+  const auto error = ax::make_error_region(scenario);
+  const auto target = ax::make_target_region(scenario);
+
+  const TaylorIntegrator integrator;
+  VerifyConfig config;
+  config.reach.control_steps = 20;  // τ = 20 s (paper)
+  config.reach.integration_steps = 10;  // M = 10 (paper)
+  config.reach.gamma = 5;               // Γ = P = 5 (paper)
+  config.reach.integrator = &integrator;
+  config.max_refinement_depth = max_depth;
+  config.split_dims = ax::split_dimensions();
+  config.threads = env_threads();
+
+  const Verifier verifier(system, error, target);
+  const VerifyReport report = verifier.verify(ax::to_symbolic_set(cells), config);
+
+  // ASCII map: rows = heading cells, columns = arcs; '#' proved at depth 0,
+  // '+' proved via refinement (partially green), 'x' not proved.
+  std::map<std::pair<std::size_t, std::size_t>, char> map;
+  for (const auto& leaf : report.leaves) {
+    // Recover the (arc, heading) indices from the root index (cells are
+    // generated arc-major).
+    const std::size_t root = leaf.root_index;
+    const auto key = std::make_pair(root / scenario.num_headings, root % scenario.num_headings);
+    char& c = map[key];
+    const bool proved = leaf.outcome == ReachOutcome::kProvedSafe;
+    if (c == 0) {
+      c = proved ? (leaf.depth == 0 ? '#' : '+') : 'x';
+    } else if (!proved) {
+      c = 'x';
+    } else if (c == '#' && leaf.depth > 0) {
+      c = '+';
+    }
+  }
+  std::printf("\nmap (columns: bearing from -pi to pi; rows: heading within cone)\n");
+  for (std::size_t h = 0; h < scenario.num_headings; ++h) {
+    for (std::size_t a = 0; a < scenario.num_arcs; ++a) {
+      std::printf("%c", map.count({a, h}) ? map[{a, h}] : '?');
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nroot cells:    %zu\n", report.root_cells);
+  std::printf("proved leaves: %zu  (depth0=%zu", report.proved_leaves,
+              report.proved_by_depth.empty() ? 0 : report.proved_by_depth[0]);
+  for (std::size_t d = 1; d < report.proved_by_depth.size(); ++d) {
+    std::printf(", depth%zu=%zu", d, report.proved_by_depth[d]);
+  }
+  std::printf(")\n");
+  std::printf("failed leaves: %zu\n", report.failed_leaves);
+  std::printf("coverage:      %.1f %%   (paper reports 90.3%% at full scale)\n",
+              report.coverage_percent);
+  std::printf("wall time:     %.1f s on %zu threads\n", report.seconds, config.threads);
+  return 0;
+}

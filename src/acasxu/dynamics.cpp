@@ -1,0 +1,13 @@
+#include "acasxu/dynamics.hpp"
+
+namespace nncs::acasxu {
+
+std::unique_ptr<Dynamics> make_dynamics() {
+  return nncs::make_dynamics(kStateDim, kCommandDim, KinematicsField{});
+}
+
+std::unique_ptr<Dynamics> make_dual_dynamics() {
+  return nncs::make_dynamics(kStateDim, 2, DualKinematicsField{});
+}
+
+}  // namespace nncs::acasxu

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "interval/box.hpp"
+#include "interval/scalar_ops.hpp"
+
+namespace nncs::acasxu {
+
+/// Polar features of the encounter geometry (paper Fig 1):
+///   ρ = distance ownship → intruder,
+///   θ = bearing of the intruder w.r.t. the ownship heading, measured
+///       counter-clockwise (θ = atan2(−x, y) in the body frame where
+///       +y is the heading and +x is to the right).
+double rho(double x, double y);
+Interval rho(const Interval& x, const Interval& y);
+
+double theta(double x, double y);
+Interval theta(const Interval& x, const Interval& y);
+
+/// Position on the sensor circle of radius r at bearing b (same θ
+/// convention): x = −r·sin b, y = r·cos b.
+Vec circle_point(double radius, double bearing);
+
+/// Normalization applied to the network inputs (ρ, θ, ψ, v_own, v_int) —
+/// the same affine (value − mean)/range scheme as the public ACAS Xu
+/// networks.
+struct Normalization {
+  double rho_mean = 19791.091;
+  double rho_range = 60261.0;
+  double angle_mean = 0.0;
+  double angle_range = 6.28318530718;
+  double vown_mean = 650.0;
+  double vown_range = 1100.0;
+  double vint_mean = 600.0;
+  double vint_range = 1200.0;
+};
+
+/// Normalize the 5 polar features in place (generic over double/Interval
+/// via the two overloads).
+Vec normalize_features(const Vec& polar, const Normalization& norm);
+Box normalize_features(const Box& polar, const Normalization& norm);
+
+/// Frame mirror for the dual-equipage extension: express the encounter from
+/// the *intruder's* point of view. Given the global state
+/// s = (x, y, ψ, v_own, v_int) in the ownship body frame, the intruder sees
+/// the ownship at
+///   d = R(−ψ)·(−x, −y) = (−x·cos ψ − y·sin ψ,  x·sin ψ − y·cos ψ),
+/// with relative heading −ψ and the two speeds swapped. The Box overload is
+/// a sound enclosure (interval rotation).
+Vec mirror_state(const Vec& state);
+Box mirror_state(const Box& state);
+
+}  // namespace nncs::acasxu

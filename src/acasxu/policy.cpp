@@ -1,0 +1,107 @@
+#include "acasxu/policy.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "acasxu/dynamics.hpp"
+#include "nn/argmin_analysis.hpp"
+
+namespace nncs::acasxu {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kTurnRatesDeg[kNumAdvisories] = {0.0, 1.5, -1.5, 3.0, -3.0};
+constexpr const char* kNames[kNumAdvisories] = {"COC", "WL", "WR", "SL", "SR"};
+
+/// Minimum separation over the rollout horizon with the ownship holding
+/// turn rate `u` and the intruder straight (forward Euler on the
+/// kinematics, which is plenty for a cost signal).
+double min_separation(const Vec& state, double u, const PolicyConfig& config) {
+  const KinematicsField field;
+  Vec s = state;
+  Vec command{u};
+  Vec ds(kStateDim);
+  double best = std::hypot(s[kIdxX], s[kIdxY]);
+  const int steps = static_cast<int>(std::ceil(config.horizon / config.dt));
+  for (int i = 0; i < steps; ++i) {
+    field(std::span<const double>(s), std::span<const double>(command), std::span<double>(ds));
+    for (std::size_t d = 0; d < kStateDim; ++d) {
+      s[d] += config.dt * ds[d];
+    }
+    best = std::min(best, std::hypot(s[kIdxX], s[kIdxY]));
+  }
+  return best;
+}
+
+double separation_cost(double d_min, const PolicyConfig& config) {
+  if (d_min <= config.collision_radius) {
+    // Predicted collision: flat penalty plus depth shaping so deeper
+    // incursions cost strictly more (helps the regression target).
+    return config.collision_penalty +
+           10.0 * (config.collision_radius - d_min) / config.collision_radius;
+  }
+  if (d_min >= config.safe_distance) {
+    return 0.0;
+  }
+  const double frac =
+      (config.safe_distance - d_min) / (config.safe_distance - config.collision_radius);
+  return config.separation_weight * frac * frac;
+}
+
+bool is_left(std::size_t advisory) { return advisory == kWL || advisory == kSL; }
+bool is_right(std::size_t advisory) { return advisory == kWR || advisory == kSR; }
+bool is_strong(std::size_t advisory) { return advisory == kSL || advisory == kSR; }
+
+}  // namespace
+
+double turn_rate(std::size_t advisory) {
+  if (advisory >= kNumAdvisories) {
+    throw std::out_of_range("turn_rate: bad advisory");
+  }
+  return kTurnRatesDeg[advisory] * kDegToRad;
+}
+
+const char* advisory_name(std::size_t advisory) {
+  if (advisory >= kNumAdvisories) {
+    throw std::out_of_range("advisory_name: bad advisory");
+  }
+  return kNames[advisory];
+}
+
+Vec advisory_scores(const Vec& state, std::size_t previous_advisory, const PolicyConfig& config) {
+  if (state.size() != kStateDim) {
+    throw std::invalid_argument("advisory_scores: expected 5-dimensional state");
+  }
+  if (previous_advisory >= kNumAdvisories) {
+    throw std::out_of_range("advisory_scores: bad previous advisory");
+  }
+  Vec scores(kNumAdvisories);
+  for (std::size_t a = 0; a < kNumAdvisories; ++a) {
+    const double d_min = min_separation(state, turn_rate(a), config);
+    double cost = separation_cost(d_min, config);
+    if (a != kCoc) {
+      cost += config.alert_cost;
+      if (is_strong(a)) {
+        cost += config.strong_cost;
+      }
+    }
+    if ((is_left(a) && is_right(previous_advisory)) ||
+        (is_right(a) && is_left(previous_advisory))) {
+      cost += config.reversal_cost;
+    }
+    if (a != previous_advisory) {
+      cost += config.switch_cost;
+    }
+    scores[a] = cost;
+  }
+  return scores;
+}
+
+std::size_t best_advisory(const Vec& state, std::size_t previous_advisory,
+                          const PolicyConfig& config) {
+  return concrete_argmin(advisory_scores(state, previous_advisory, config));
+}
+
+}  // namespace nncs::acasxu

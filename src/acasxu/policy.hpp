@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+
+#include "interval/box.hpp"
+
+namespace nncs::acasxu {
+
+/// The five horizontal advisories, in the paper's command order
+/// U = {0, +1.5, −1.5, +3.0, −3.0} deg/s (left turns are counter-clockwise,
+/// hence positive).
+enum Advisory : std::size_t {
+  kCoc = 0,  ///< clear of conflict
+  kWL = 1,   ///< weak left
+  kWR = 2,   ///< weak right
+  kSL = 3,   ///< strong left
+  kSR = 4,   ///< strong right
+};
+inline constexpr std::size_t kNumAdvisories = 5;
+
+/// Turn rate of an advisory in rad/s.
+double turn_rate(std::size_t advisory);
+
+/// Human-readable advisory name ("COC", "WL", ...).
+const char* advisory_name(std::size_t advisory);
+
+/// Parameters of the ground-truth score policy — our substitution for the
+/// proprietary MDP lookup tables (DESIGN.md, substitution 1). Scores are
+/// *costs*: lower is better, matching the argmin post-processing.
+struct PolicyConfig {
+  /// Model-predictive lookahead horizon (s) and Euler step (s).
+  double horizon = 12.0;
+  double dt = 0.25;
+  /// Near mid-air collision radius (ft).
+  double collision_radius = 500.0;
+  /// Separation above which no maneuvering pressure remains (ft).
+  double safe_distance = 4000.0;
+  /// Cost scale of losing separation (quadratic shaping below
+  /// safe_distance) and flat penalty for predicted collision.
+  double separation_weight = 25.0;
+  double collision_penalty = 25.0;
+  /// Operational costs: alerting at all, strong advisories, reversing the
+  /// turn direction, and switching advisory.
+  double alert_cost = 0.4;
+  double strong_cost = 0.5;
+  double reversal_cost = 0.7;
+  double switch_cost = 0.1;
+};
+
+/// Score (expected cost) of every advisory from plant state
+/// s = (x, y, ψ, v_own, v_int), given the previous advisory: for each
+/// candidate advisory the encounter is rolled out over the horizon with the
+/// ownship holding that turn rate and the intruder flying straight; the
+/// minimum predicted separation is converted to a separation cost, to which
+/// the operational costs are added.
+Vec advisory_scores(const Vec& state, std::size_t previous_advisory,
+                    const PolicyConfig& config = {});
+
+/// argmin over `advisory_scores` (the ground-truth controller the networks
+/// are trained to imitate).
+std::size_t best_advisory(const Vec& state, std::size_t previous_advisory,
+                          const PolicyConfig& config = {});
+
+}  // namespace nncs::acasxu

@@ -1,0 +1,120 @@
+#include "core/controller.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "nn/argmin_analysis.hpp"
+#include "nn/interval_prop.hpp"
+
+namespace nncs {
+
+CommandSet::CommandSet(std::vector<Vec> commands) : commands_(std::move(commands)) {
+  if (commands_.empty()) {
+    throw std::invalid_argument("CommandSet: at least one command required");
+  }
+  const std::size_t d = commands_.front().size();
+  if (d == 0) {
+    throw std::invalid_argument("CommandSet: commands must be non-empty vectors");
+  }
+  for (const auto& u : commands_) {
+    if (u.size() != d) {
+      throw std::invalid_argument("CommandSet: inconsistent command dimensions");
+    }
+  }
+}
+
+std::size_t ArgminPost::eval(const Vec& network_output) const {
+  return concrete_argmin(network_output);
+}
+
+std::vector<std::size_t> ArgminPost::eval_abstract(const Box& network_output) const {
+  return possible_argmin(network_output);
+}
+
+std::vector<std::size_t> ArgminPost::eval_abstract(const SymbolicBounds& bounds) const {
+  return possible_argmin(bounds);
+}
+
+std::vector<std::size_t> ArgminPost::eval_abstract(const ZonotopeBounds& bounds) const {
+  return possible_argmin(bounds);
+}
+
+NeuralController::NeuralController(CommandSet commands, std::vector<Network> networks,
+                                   std::vector<std::size_t> selector,
+                                   std::unique_ptr<Preprocessor> pre,
+                                   std::unique_ptr<Postprocessor> post, NnDomain domain)
+    : commands_(std::move(commands)),
+      networks_(std::move(networks)),
+      selector_(std::move(selector)),
+      pre_(std::move(pre)),
+      post_(std::move(post)),
+      domain_(domain) {
+  if (networks_.empty()) {
+    throw std::invalid_argument("NeuralController: at least one network required");
+  }
+  if (!pre_ || !post_) {
+    throw std::invalid_argument("NeuralController: pre/post processors must be non-null");
+  }
+  if (selector_.size() != commands_.size()) {
+    throw std::invalid_argument("NeuralController: selector size must equal |U| (one network choice per previous command)");
+  }
+  for (const std::size_t net_idx : selector_) {
+    if (net_idx >= networks_.size()) {
+      throw std::invalid_argument("NeuralController: selector references network " +
+                                  std::to_string(net_idx) + " out of range");
+    }
+  }
+  for (const auto& net : networks_) {
+    if (net.input_dim() != pre_->output_dim()) {
+      throw std::invalid_argument("NeuralController: network input dim != Pre output dim");
+    }
+  }
+}
+
+std::size_t NeuralController::step(const Vec& state, std::size_t previous_command) const {
+  if (previous_command >= commands_.size()) {
+    throw std::out_of_range("NeuralController::step: bad previous command index");
+  }
+  const Network& net = networks_[selector_[previous_command]];
+  const Vec x = pre_->eval(state);
+  const Vec y = net.eval(x);
+  const std::size_t next = post_->eval(y);
+  if (next >= commands_.size()) {
+    throw std::logic_error("NeuralController::step: Post returned out-of-range command");
+  }
+  return next;
+}
+
+AbstractControlStep NeuralController::step_abstract(const Box& state,
+                                                    std::size_t previous_command) const {
+  if (previous_command >= commands_.size()) {
+    throw std::out_of_range("NeuralController::step_abstract: bad previous command index");
+  }
+  const Network& net = networks_[selector_[previous_command]];
+  AbstractControlStep result;
+  result.network_input = pre_->eval_abstract(state);
+  if (domain_ == NnDomain::kSymbolic) {
+    const SymbolicBounds bounds = symbolic_propagate(net, result.network_input);
+    result.network_output = bounds.output_box;
+    result.commands = post_->eval_abstract(bounds);
+  } else if (domain_ == NnDomain::kAffine) {
+    const ZonotopeBounds bounds = zonotope_propagate(net, result.network_input);
+    result.network_output = bounds.output_box;
+    result.commands = post_->eval_abstract(bounds);
+  } else {
+    result.network_output = interval_propagate(net, result.network_input);
+    result.commands = post_->eval_abstract(result.network_output);
+  }
+  if (result.commands.empty()) {
+    throw std::logic_error("NeuralController::step_abstract: Post# returned no commands (unsound abstract post-processor)");
+  }
+  for (const std::size_t c : result.commands) {
+    if (c >= commands_.size()) {
+      throw std::logic_error("NeuralController::step_abstract: Post# returned out-of-range command");
+    }
+  }
+  return result;
+}
+
+}  // namespace nncs

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "interval/box.hpp"
+#include "nn/network.hpp"
+#include "nn/symbolic_prop.hpp"
+#include "nn/zonotope_prop.hpp"
+
+namespace nncs {
+
+/// The finite set U = {u^(1), ..., u^(P)} of possible actuation commands
+/// (paper §4.1). Commands are addressed by index throughout the library.
+class CommandSet {
+ public:
+  /// Each command is a d-dimensional vector; all must share the same d >= 1.
+  explicit CommandSet(std::vector<Vec> commands);
+
+  [[nodiscard]] std::size_t size() const { return commands_.size(); }
+  [[nodiscard]] std::size_t dim() const { return commands_.front().size(); }
+  [[nodiscard]] const Vec& operator[](std::size_t i) const { return commands_[i]; }
+
+ private:
+  std::vector<Vec> commands_;
+};
+
+/// Pre-processing stage Pre : R^l -> R^m of the controller (§4.3 (i)) with
+/// its abstract transformer Pre# (sound on boxes).
+class Preprocessor {
+ public:
+  virtual ~Preprocessor() = default;
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t output_dim() const = 0;
+  /// Concrete semantics.
+  [[nodiscard]] virtual Vec eval(const Vec& state) const = 0;
+  /// Abstract semantics: must over-approximate {eval(s) | s in box}.
+  [[nodiscard]] virtual Box eval_abstract(const Box& state) const = 0;
+};
+
+/// Identity pre-processing (the network reads the sampled state directly).
+class IdentityPre final : public Preprocessor {
+ public:
+  explicit IdentityPre(std::size_t dim) : dim_(dim) {}
+  [[nodiscard]] std::size_t input_dim() const override { return dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+  [[nodiscard]] Vec eval(const Vec& state) const override { return state; }
+  [[nodiscard]] Box eval_abstract(const Box& state) const override { return state; }
+
+ private:
+  std::size_t dim_;
+};
+
+/// Post-processing stage Post : R^p -> U of the controller (§4.3 (iii))
+/// with its abstract transformer Post# returning the set of commands the
+/// controller may select when its output ranges over the given enclosure.
+class Postprocessor {
+ public:
+  virtual ~Postprocessor() = default;
+  /// Concrete semantics: index into the command set.
+  [[nodiscard]] virtual std::size_t eval(const Vec& network_output) const = 0;
+  /// Abstract semantics over an output box: every command the concrete Post
+  /// could select for some output in the box must be included.
+  [[nodiscard]] virtual std::vector<std::size_t> eval_abstract(const Box& network_output) const = 0;
+  /// Refined abstract semantics given full symbolic output bounds; defaults
+  /// to the box rule. Overriding lets a Post exploit symbolic differences
+  /// (e.g. argmin exclusion via provably-dominated scores).
+  [[nodiscard]] virtual std::vector<std::size_t> eval_abstract(const SymbolicBounds& bounds) const {
+    return eval_abstract(bounds.output_box);
+  }
+  /// Same refinement hook for the zonotope domain.
+  [[nodiscard]] virtual std::vector<std::size_t> eval_abstract(const ZonotopeBounds& bounds) const {
+    return eval_abstract(bounds.output_box);
+  }
+};
+
+/// The canonical argmin post-processing of the paper (score k minimal =>
+/// command k selected, first-index tie-break). Requires p == P.
+class ArgminPost final : public Postprocessor {
+ public:
+  [[nodiscard]] std::size_t eval(const Vec& network_output) const override;
+  [[nodiscard]] std::vector<std::size_t> eval_abstract(const Box& network_output) const override;
+  [[nodiscard]] std::vector<std::size_t> eval_abstract(const SymbolicBounds& bounds) const override;
+  [[nodiscard]] std::vector<std::size_t> eval_abstract(const ZonotopeBounds& bounds) const override;
+};
+
+/// Abstract domain used for the network transformer F#.
+enum class NnDomain {
+  kInterval,  ///< rigorous outward-rounded interval propagation
+  kSymbolic,  ///< affine-bound propagation (ReluVal/DeepPoly family)
+  kAffine     ///< affine arithmetic / zonotopes (Stolfi & Figueiredo [15])
+};
+
+/// One abstract controller execution: the reachable command indices plus
+/// the intermediate enclosures (useful for diagnostics and tests).
+struct AbstractControlStep {
+  std::vector<std::size_t> commands;
+  Box network_input;
+  Box network_output;
+};
+
+/// Abstract discrete-time controller: everything the closed-loop machinery
+/// needs from N — the finite command set and the concrete/abstract control
+/// step. `NeuralController` is the paper's §4.3 instance; `ProductController`
+/// composes several controllers for the multi-agent extension of §8.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  [[nodiscard]] virtual const CommandSet& commands() const = 0;
+  /// Plant-state dimension the controller samples.
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  /// Concrete control step: sampled state + previous command -> next command.
+  [[nodiscard]] virtual std::size_t step(const Vec& state,
+                                         std::size_t previous_command) const = 0;
+  /// Abstract control step: sound over-approximation of every command the
+  /// controller can produce from any state in the box.
+  [[nodiscard]] virtual AbstractControlStep step_abstract(
+      const Box& state, std::size_t previous_command) const = 0;
+};
+
+/// The generic neural network based controller N of §4.3 (Fig 2/5):
+/// a collection of ReLU networks, a selector λ mapping the previous command
+/// to the network to execute, and pre/post-processing stages. Provides both
+/// the concrete semantics (for simulation) and the abstract semantics
+/// Pre# ∘ F# ∘ Post# (for reachability).
+class NeuralController final : public Controller {
+ public:
+  /// `selector[c]` is the index into `networks` of the network executed when
+  /// the previous command was c (the λ map). Throws if shapes disagree
+  /// (network input dim vs Pre output dim, selector size vs |U|, ...).
+  NeuralController(CommandSet commands, std::vector<Network> networks,
+                   std::vector<std::size_t> selector, std::unique_ptr<Preprocessor> pre,
+                   std::unique_ptr<Postprocessor> post, NnDomain domain = NnDomain::kSymbolic);
+
+  [[nodiscard]] const CommandSet& commands() const override { return commands_; }
+  [[nodiscard]] const std::vector<Network>& networks() const { return networks_; }
+  [[nodiscard]] NnDomain domain() const { return domain_; }
+  [[nodiscard]] std::size_t state_dim() const override { return pre_->input_dim(); }
+
+  /// Concrete control step j: sampled state -> next command index
+  /// (u_{j+1} = Post(F_{λ(u_j)}(Pre(s_j)))).
+  [[nodiscard]] std::size_t step(const Vec& state, std::size_t previous_command) const override;
+
+  /// Abstract control step: sound over-approximation of every command the
+  /// controller can produce from any state in the box.
+  [[nodiscard]] AbstractControlStep step_abstract(const Box& state,
+                                                  std::size_t previous_command) const override;
+
+ private:
+  CommandSet commands_;
+  std::vector<Network> networks_;
+  std::vector<std::size_t> selector_;
+  std::unique_ptr<Preprocessor> pre_;
+  std::unique_ptr<Postprocessor> post_;
+  NnDomain domain_;
+};
+
+}  // namespace nncs

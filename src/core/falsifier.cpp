@@ -1,0 +1,72 @@
+#include "core/falsifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nncs {
+
+Falsifier::Falsifier(FalsifierConfig config) : config_(std::move(config)) {
+  if (config_.param_dim == 0 || config_.random_samples < 1) {
+    throw std::invalid_argument("Falsifier: need param_dim >= 1 and random_samples >= 1");
+  }
+}
+
+FalsificationResult Falsifier::run(const ClosedLoop& system, const InitialSampler& sampler,
+                                   const StateRegion& error, const StateRegion& target,
+                                   const RobustnessFn& robustness) const {
+  if (!sampler || !robustness) {
+    throw std::invalid_argument("Falsifier::run: sampler and robustness must be set");
+  }
+  Rng rng(config_.seed);
+  FalsificationResult best;
+  best.best_robustness = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const Vec& params) {
+    auto [s0, u0] = sampler(params);
+    SimOutcome trace = simulate_closed_loop(system, s0, u0, error, target, config_.max_steps,
+                                            config_.substeps, robustness);
+    ++best.simulations;
+    if (trace.min_robustness < best.best_robustness) {
+      best.best_robustness = trace.min_robustness;
+      best.best_params = params;
+      best.initial_state = s0;
+      best.initial_command = u0;
+      best.falsified = trace.reached_error;
+      best.trace = std::move(trace);
+    }
+  };
+
+  // Phase 1: uniform random restarts over the parameter cube.
+  for (int i = 0; i < config_.random_samples && !best.falsified; ++i) {
+    Vec params(config_.param_dim);
+    for (double& p : params) {
+      p = rng.uniform(0.0, 1.0);
+    }
+    evaluate(params);
+  }
+
+  // Phase 2: shrinking Gaussian local search around the best sample.
+  double sigma = config_.sigma;
+  int stall = 0;
+  for (int i = 0; i < config_.local_iterations && !best.falsified; ++i) {
+    const double before = best.best_robustness;
+    Vec params = best.best_params;
+    for (double& p : params) {
+      p = std::clamp(p + rng.normal(sigma), 0.0, 1.0);
+    }
+    evaluate(params);
+    if (best.best_robustness >= before) {
+      if (++stall >= config_.shrink_after) {
+        sigma *= 0.5;
+        stall = 0;
+      }
+    } else {
+      stall = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace nncs

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/simulate.hpp"
+
+namespace nncs {
+
+/// Maps a parameter vector in [0,1]^k to an initial closed-loop state
+/// (s0, u0). Use cases supply this to describe their initial set I in a
+/// search-friendly form (e.g. ACAS Xu: bearing along the sensor circle and
+/// intruder heading within the penetration cone).
+using InitialSampler = std::function<std::pair<Vec, std::size_t>(const Vec& params01)>;
+
+struct FalsifierConfig {
+  /// Dimension k of the search space.
+  std::size_t param_dim = 2;
+  /// Uniform random restarts.
+  int random_samples = 200;
+  /// Gaussian local-search iterations around the most critical sample.
+  int local_iterations = 200;
+  /// Initial local-search step (fraction of the unit cube), halved on
+  /// every `shrink_after` consecutive non-improving proposals.
+  double sigma = 0.1;
+  int shrink_after = 20;
+  std::uint64_t seed = 20210628;  // DSN 2021 :-)
+  /// Simulation budget per trajectory.
+  int max_steps = 20;
+  int substeps = 20;
+};
+
+struct FalsificationResult {
+  /// True when a trajectory actually entering E was found.
+  bool falsified = false;
+  /// Most critical parameters/initial state found (even when not falsified
+  /// — useful to direct refinement and to report near-misses).
+  Vec best_params;
+  Vec initial_state;
+  std::size_t initial_command = 0;
+  double best_robustness = 0.0;
+  /// Trace of the most critical trajectory.
+  SimOutcome trace;
+  int simulations = 0;
+};
+
+/// Trajectory-robustness falsifier (the complementary analysis the paper
+/// lists as future work, §8): random restarts plus a shrinking Gaussian
+/// local search minimizing trajectory robustness. Can only prove
+/// *unsafety*; the reachability engine proves safety.
+class Falsifier {
+ public:
+  explicit Falsifier(FalsifierConfig config);
+
+  [[nodiscard]] FalsificationResult run(const ClosedLoop& system, const InitialSampler& sampler,
+                                        const StateRegion& error, const StateRegion& target,
+                                        const RobustnessFn& robustness) const;
+
+ private:
+  FalsifierConfig config_;
+};
+
+}  // namespace nncs

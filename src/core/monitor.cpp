@@ -1,0 +1,30 @@
+#include "core/monitor.hpp"
+
+#include <utility>
+
+namespace nncs {
+
+SafetyMonitor SafetyMonitor::from_report(const VerifyReport& report) {
+  std::vector<SymbolicState> proved;
+  for (const auto& leaf : report.leaves) {
+    if (leaf.outcome == ReachOutcome::kProvedSafe) {
+      proved.push_back(leaf.initial);
+    }
+  }
+  return SafetyMonitor(std::move(proved));
+}
+
+SafetyMonitor::SafetyMonitor(std::vector<SymbolicState> proved_cells)
+    : cells_(std::move(proved_cells)) {}
+
+SafetyMonitor::Answer SafetyMonitor::query(const Vec& initial_state,
+                                           std::size_t initial_command) const {
+  for (const auto& cell : cells_) {
+    if (cell.command == initial_command && cell.box.contains(initial_state)) {
+      return Answer::kProvedSafe;
+    }
+  }
+  return Answer::kUnknown;
+}
+
+}  // namespace nncs

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace nncs {
+
+/// Runtime safety monitor built from a verification report (the practical
+/// application suggested in §7.2: "switch to a more robust controller if
+/// the system encounters an initial state for which it was not proved
+/// safe").
+///
+/// The monitor stores the initial cells that were *proved safe* and answers
+/// point queries: a state covered by a proved cell is guaranteed safe until
+/// termination (by Theorem 1); anything else is "unknown" and should
+/// trigger the fallback.
+class SafetyMonitor {
+ public:
+  enum class Answer { kProvedSafe, kUnknown };
+
+  /// Extract the proved leaves from a report.
+  static SafetyMonitor from_report(const VerifyReport& report);
+
+  /// Build directly from proved symbolic states.
+  explicit SafetyMonitor(std::vector<SymbolicState> proved_cells);
+
+  [[nodiscard]] Answer query(const Vec& initial_state, std::size_t initial_command) const;
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+
+ private:
+  std::vector<SymbolicState> cells_;
+};
+
+}  // namespace nncs

@@ -1,0 +1,79 @@
+#include "core/product_controller.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nncs {
+
+StateView identity_view() {
+  return StateView{[](const Vec& s) { return s; }, [](const Box& b) { return b; }};
+}
+
+namespace {
+
+CommandSet product_commands(const CommandSet& a, const CommandSet& b) {
+  std::vector<Vec> combined;
+  combined.reserve(a.size() * b.size());
+  for (std::size_t ia = 0; ia < a.size(); ++ia) {
+    for (std::size_t ib = 0; ib < b.size(); ++ib) {
+      Vec u = a[ia];
+      u.insert(u.end(), b[ib].begin(), b[ib].end());
+      combined.push_back(std::move(u));
+    }
+  }
+  return CommandSet{std::move(combined)};
+}
+
+}  // namespace
+
+ProductController::ProductController(const Controller& a, const Controller& b,
+                                     StateView view_a, StateView view_b,
+                                     std::size_t state_dim)
+    : a_(&a),
+      b_(&b),
+      view_a_(std::move(view_a)),
+      view_b_(std::move(view_b)),
+      state_dim_(state_dim),
+      commands_(product_commands(a.commands(), b.commands())) {
+  if (!view_a_.concrete || !view_a_.abstract || !view_b_.concrete || !view_b_.abstract) {
+    throw std::invalid_argument("ProductController: both views must be fully populated");
+  }
+}
+
+std::pair<std::size_t, std::size_t> ProductController::split_command(std::size_t command) const {
+  if (command >= commands_.size()) {
+    throw std::out_of_range("ProductController::split_command: index out of range");
+  }
+  return {command / b_->commands().size(), command % b_->commands().size()};
+}
+
+std::size_t ProductController::join_command(std::size_t a, std::size_t b) const {
+  return a * b_->commands().size() + b;
+}
+
+std::size_t ProductController::step(const Vec& state, std::size_t previous_command) const {
+  const auto [prev_a, prev_b] = split_command(previous_command);
+  const std::size_t next_a = a_->step(view_a_.concrete(state), prev_a);
+  const std::size_t next_b = b_->step(view_b_.concrete(state), prev_b);
+  return join_command(next_a, next_b);
+}
+
+AbstractControlStep ProductController::step_abstract(const Box& state,
+                                                     std::size_t previous_command) const {
+  const auto [prev_a, prev_b] = split_command(previous_command);
+  const AbstractControlStep step_a = a_->step_abstract(view_a_.abstract(state), prev_a);
+  const AbstractControlStep step_b = b_->step_abstract(view_b_.abstract(state), prev_b);
+  AbstractControlStep result;
+  for (const std::size_t ca : step_a.commands) {
+    for (const std::size_t cb : step_b.commands) {
+      result.commands.push_back(join_command(ca, cb));
+    }
+  }
+  // Diagnostics: report the first agent's enclosures (the product has no
+  // single network input/output).
+  result.network_input = step_a.network_input;
+  result.network_output = step_a.network_output;
+  return result;
+}
+
+}  // namespace nncs

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+
+#include "core/controller.hpp"
+
+namespace nncs {
+
+/// How one agent's controller views the global plant state: a concrete map
+/// plus a sound abstract counterpart (the image of every state in the box
+/// must lie in the returned box). For the dual-aircraft ACAS Xu this is the
+/// frame mirror of `acasxu::mirror_state`.
+struct StateView {
+  std::function<Vec(const Vec&)> concrete;
+  std::function<Box(const Box&)> abstract;
+};
+
+/// Identity view for the agent whose frame the global state already uses.
+StateView identity_view();
+
+/// Two controllers acting on the same plant in the same control interval —
+/// the multi-agent extension the paper sketches in §8 ("the same way we
+/// captured the dynamics of both the ownship and the intruder ... our
+/// procedure would evaluate several controllers, which is straightforward if
+/// all the controllers execute in the same time interval").
+///
+/// The combined command set is the cross product: command index
+/// i = i_a * |U_b| + i_b, command value = concat(u_a, u_b); the plant
+/// consumes the concatenated vector. The abstract step returns the cross
+/// product of the two candidate sets, which is sound because each
+/// controller's abstract step is.
+class ProductController final : public Controller {
+ public:
+  /// Non-owning: the sub-controllers must outlive this object. Both views
+  /// must map the global plant state (dimension `state_dim`) to the
+  /// corresponding controller's input state.
+  ProductController(const Controller& a, const Controller& b, StateView view_a,
+                    StateView view_b, std::size_t state_dim);
+
+  [[nodiscard]] const CommandSet& commands() const override { return commands_; }
+  [[nodiscard]] std::size_t state_dim() const override { return state_dim_; }
+  [[nodiscard]] std::size_t step(const Vec& state, std::size_t previous_command) const override;
+  [[nodiscard]] AbstractControlStep step_abstract(const Box& state,
+                                                  std::size_t previous_command) const override;
+
+  /// Decompose a product command index into the two sub-indices.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> split_command(std::size_t command) const;
+  /// Compose two sub-indices into a product command index.
+  [[nodiscard]] std::size_t join_command(std::size_t a, std::size_t b) const;
+
+ private:
+  const Controller* a_;
+  const Controller* b_;
+  StateView view_a_;
+  StateView view_b_;
+  std::size_t state_dim_;
+  CommandSet commands_;
+};
+
+}  // namespace nncs

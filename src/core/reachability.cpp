@@ -1,0 +1,173 @@
+#include "core/reachability.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace nncs {
+
+const char* to_string(ReachOutcome outcome) {
+  switch (outcome) {
+    case ReachOutcome::kProvedSafe:
+      return "proved-safe";
+    case ReachOutcome::kErrorReachable:
+      return "error-reachable";
+    case ReachOutcome::kHorizonExhausted:
+      return "horizon-exhausted";
+    case ReachOutcome::kEnclosureFailure:
+      return "enclosure-failure";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate(const ClosedLoop& system, const SymbolicSet& initial, const ReachConfig& config) {
+  if (system.plant == nullptr || system.controller == nullptr) {
+    throw std::invalid_argument("reach_analyze: plant and controller must be set");
+  }
+  if (system.period <= 0.0) {
+    throw std::invalid_argument("reach_analyze: period must be positive");
+  }
+  if (config.integrator == nullptr) {
+    throw std::invalid_argument("reach_analyze: integrator must be set");
+  }
+  if (config.control_steps < 1 || config.integration_steps < 1) {
+    throw std::invalid_argument("reach_analyze: control/integration steps must be >= 1");
+  }
+  if (initial.empty()) {
+    throw std::invalid_argument("reach_analyze: empty initial symbolic set");
+  }
+  const std::size_t dim = system.plant->state_dim();
+  const std::size_t num_commands = system.controller->commands().size();
+  for (const auto& state : initial) {
+    if (state.box.dim() != dim) {
+      throw std::invalid_argument("reach_analyze: initial box dimension mismatch");
+    }
+    if (state.command >= num_commands) {
+      throw std::invalid_argument("reach_analyze: initial command index out of range");
+    }
+  }
+}
+
+}  // namespace
+
+ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
+                          const StateRegion& error, const StateRegion& target,
+                          const ReachConfig& config) {
+  validate(system, initial, config);
+  Stopwatch watch;
+  ReachResult result;
+  const CommandSet& commands = system.controller->commands();
+
+  SymbolicSet current = initial;
+  bool terminated = false;
+
+  for (int j = 0; j < config.control_steps; ++j) {
+    // Algorithm 2: keep |R̃_j| <= Γ.
+    const ResizeStats rs = resize(current, config.gamma);
+    result.stats.joins += rs.joins;
+    result.stats.max_states = std::max(result.stats.max_states, current.size());
+    result.sampled_sets.push_back(current);
+
+    // Drop states absorbed by the target set (they are not propagated).
+    SymbolicSet active;
+    active.reserve(current.size());
+    for (const auto& state : current) {
+      if (!target.certainly_contains(state.box, state.command)) {
+        active.push_back(state);
+      }
+    }
+    if (active.empty()) {
+      terminated = true;
+      break;
+    }
+
+    SymbolicSet next;
+    std::vector<Flowpipe> step_pipes;
+    for (const auto& state : active) {
+      // Unsound discrete-instant baseline: check E only at t = jT.
+      if (!config.check_intermediate &&
+          error.possibly_intersects(state.box, state.command)) {
+        result.outcome = ReachOutcome::kErrorReachable;
+        result.offending = state;
+        result.offending_step = j;
+        result.stats.steps_executed = j;
+        result.stats.seconds = watch.seconds();
+        return result;
+      }
+
+      // Algorithm 1: validated simulation over one control period.
+      Flowpipe pipe = simulate(*system.plant, *config.integrator, state.box,
+                               commands[state.command], system.period,
+                               config.integration_steps);
+      ++result.stats.total_simulations;
+      if (!pipe.ok) {
+        result.outcome = ReachOutcome::kEnclosureFailure;
+        result.offending = state;
+        result.offending_step = j;
+        result.stats.steps_executed = j;
+        result.stats.seconds = watch.seconds();
+        return result;
+      }
+
+      // Check every intermediate enclosure against E (the sound mode; this
+      // is what makes the analysis valid for all t, not just t = jT).
+      if (config.check_intermediate) {
+        for (const Box& segment : pipe.segments) {
+          if (error.possibly_intersects(segment, state.command)) {
+            result.outcome = ReachOutcome::kErrorReachable;
+            result.offending = SymbolicState{segment, state.command};
+            result.offending_step = j;
+            result.stats.steps_executed = j;
+            result.stats.seconds = watch.seconds();
+            return result;
+          }
+        }
+      }
+
+      // Abstract controller execution on the *sampled* box [s_j]
+      // (the command computed at step j is applied from (j+1)T on).
+      const AbstractControlStep ctrl = system.controller->step_abstract(state.box, state.command);
+      for (const std::size_t cmd : ctrl.commands) {
+        next.push_back(SymbolicState{pipe.end, cmd});
+      }
+      if (config.record_flowpipes) {
+        step_pipes.push_back(std::move(pipe));
+      }
+    }
+    if (config.record_flowpipes) {
+      result.flowpipes.push_back(std::move(step_pipes));
+    }
+    result.stats.steps_executed = j + 1;
+    current = std::move(next);
+  }
+
+  if (!terminated) {
+    // Horizon exhausted; the final sampled set may still be fully absorbed
+    // by T (termination detected exactly at t = qT).
+    result.sampled_sets.push_back(current);
+    terminated = true;
+    for (const auto& state : current) {
+      // The discrete-instant baseline must also check the final samples.
+      if (!config.check_intermediate &&
+          error.possibly_intersects(state.box, state.command)) {
+        result.outcome = ReachOutcome::kErrorReachable;
+        result.offending = state;
+        result.offending_step = config.control_steps;
+        result.stats.seconds = watch.seconds();
+        return result;
+      }
+      if (!target.certainly_contains(state.box, state.command)) {
+        terminated = false;
+      }
+    }
+  }
+
+  result.outcome = terminated ? ReachOutcome::kProvedSafe : ReachOutcome::kHorizonExhausted;
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace nncs

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/specs.hpp"
+#include "core/symbolic_state.hpp"
+#include "ode/dynamics.hpp"
+#include "ode/validated_integrator.hpp"
+
+namespace nncs {
+
+/// The closed-loop system C = (P, N) of §4.1: a continuous-time plant, a
+/// discrete-time neural network controller executed with period T, coupled
+/// by sampler and zero-order hold. Non-owning view — the referenced objects
+/// must outlive it.
+struct ClosedLoop {
+  const Dynamics* plant = nullptr;
+  const Controller* controller = nullptr;
+  /// Controller period T in seconds.
+  double period = 1.0;
+};
+
+/// Parameters of the reachability procedure (Algorithm 3).
+struct ReachConfig {
+  /// Number of control steps q (time horizon τ = q·T).
+  int control_steps = 20;
+  /// Validated integration steps per control period (the M of §6.4,
+  /// "Improving precision").
+  int integration_steps = 10;
+  /// Symbolic-set size threshold Γ of Algorithm 2 ("Improving time
+  /// complexity"); must be >= the number of commands (Remark 3).
+  std::size_t gamma = 5;
+  /// Validated one-step integrator; must be non-null.
+  const ValidatedIntegrator* integrator = nullptr;
+  /// When false, the error set is only checked at the sampling instants
+  /// t = jT — this reproduces the *unsound* discrete-instant baseline of
+  /// [7] (experiment A6) and must never be used for real verification.
+  bool check_intermediate = true;
+  /// Record every flowpipe (memory-heavy; for plots and tests).
+  bool record_flowpipes = false;
+};
+
+/// Verdict of one reachability analysis.
+enum class ReachOutcome {
+  /// R̃ ∩ E = ∅ and the system provably terminated (every symbolic state
+  /// entered T): the cell is verified safe until termination.
+  kProvedSafe,
+  /// Some enclosure intersected E — the proof fails (the over-approximation
+  /// may or may not contain a real violation).
+  kErrorReachable,
+  /// No error found but termination was not established within q steps.
+  kHorizonExhausted,
+  /// Validated simulation could not produce an enclosure.
+  kEnclosureFailure,
+};
+
+[[nodiscard]] const char* to_string(ReachOutcome outcome);
+
+struct ReachStats {
+  int steps_executed = 0;
+  std::size_t joins = 0;
+  std::size_t max_states = 0;
+  std::size_t total_simulations = 0;
+  double seconds = 0.0;
+};
+
+struct ReachResult {
+  ReachOutcome outcome = ReachOutcome::kHorizonExhausted;
+  ReachStats stats;
+  /// Sampled-instant symbolic sets R̃_0, R̃_1, ..., up to the last executed
+  /// step (after resize, before propagation).
+  std::vector<SymbolicSet> sampled_sets;
+  /// Per step, per propagated symbolic state: the validated flowpipe
+  /// (only filled when config.record_flowpipes).
+  std::vector<std::vector<Flowpipe>> flowpipes;
+  /// For kErrorReachable: the symbolic state whose enclosure met E, and the
+  /// control step at which it happened.
+  std::optional<SymbolicState> offending;
+  int offending_step = -1;
+};
+
+/// Algorithm 3: iteratively build R̃_{[0,τ]} from the initial symbolic set,
+/// alternating validated simulation of the plant (Algorithm 1) with the
+/// abstract controller step, joining states beyond Γ (Algorithm 2),
+/// dropping states absorbed by the target set and checking every enclosure
+/// against the error set.
+ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
+                          const StateRegion& error, const StateRegion& target,
+                          const ReachConfig& config);
+
+}  // namespace nncs

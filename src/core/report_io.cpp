@@ -1,0 +1,137 @@
+#include "core/report_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace nncs {
+
+namespace {
+
+constexpr const char* kMagic = "nncs-report v1";
+
+ReachOutcome outcome_from_string(const std::string& name) {
+  for (const ReachOutcome o :
+       {ReachOutcome::kProvedSafe, ReachOutcome::kErrorReachable,
+        ReachOutcome::kHorizonExhausted, ReachOutcome::kEnclosureFailure}) {
+    if (name == to_string(o)) {
+      return o;
+    }
+  }
+  throw ReportFormatError("report_io: unknown outcome '" + name + "'");
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ls(line);
+  while (std::getline(ls, cell, ',')) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+double parse_double(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw ReportFormatError("report_io: expected a number, got '" + s + "'");
+  }
+}
+
+std::size_t parse_size(const std::string& s) {
+  try {
+    return static_cast<std::size_t>(std::stoull(s));
+  } catch (const std::exception&) {
+    throw ReportFormatError("report_io: expected a count, got '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void save_report(const VerifyReport& report, std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << ',' << report.root_cells << ',' << report.coverage_percent << ','
+     << report.seconds;
+  for (const auto n : report.proved_by_depth) {
+    os << ',' << n;
+  }
+  os << '\n';
+  for (const auto& leaf : report.leaves) {
+    os << leaf.root_index << ',' << leaf.depth << ',' << to_string(leaf.outcome) << ','
+       << leaf.stats.seconds << ',' << leaf.initial.command;
+    for (const auto& iv : leaf.initial.box.intervals()) {
+      os << ',' << iv.lo() << ',' << iv.hi();
+    }
+    os << '\n';
+  }
+  if (!os) {
+    throw std::runtime_error("report_io: stream failure while writing report");
+  }
+}
+
+void save_report(const VerifyReport& report, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("report_io: cannot open for writing: " + path.string());
+  }
+  save_report(report, out);
+}
+
+VerifyReport load_report(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw ReportFormatError("report_io: empty input");
+  }
+  const auto head_cells = split_csv(header);
+  if (head_cells.size() < 4 || head_cells[0] != kMagic) {
+    throw ReportFormatError("report_io: bad header (not a nncs-report v1 file)");
+  }
+  VerifyReport report;
+  report.root_cells = parse_size(head_cells[1]);
+  report.coverage_percent = parse_double(head_cells[2]);
+  report.seconds = parse_double(head_cells[3]);
+  for (std::size_t i = 4; i < head_cells.size(); ++i) {
+    report.proved_by_depth.push_back(parse_size(head_cells[i]));
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto cells = split_csv(line);
+    if (cells.size() < 5 || (cells.size() - 5) % 2 != 0) {
+      throw ReportFormatError("report_io: malformed leaf row");
+    }
+    CellOutcome leaf;
+    leaf.root_index = parse_size(cells[0]);
+    leaf.depth = static_cast<int>(parse_size(cells[1]));
+    leaf.outcome = outcome_from_string(cells[2]);
+    leaf.stats.seconds = parse_double(cells[3]);
+    leaf.initial.command = parse_size(cells[4]);
+    std::vector<Interval> dims;
+    for (std::size_t i = 5; i < cells.size(); i += 2) {
+      dims.emplace_back(parse_double(cells[i]), parse_double(cells[i + 1]));
+    }
+    leaf.initial.box = Box{std::move(dims)};
+    if (leaf.outcome == ReachOutcome::kProvedSafe) {
+      ++report.proved_leaves;
+    } else {
+      ++report.failed_leaves;
+    }
+    report.leaves.push_back(std::move(leaf));
+  }
+  return report;
+}
+
+VerifyReport load_report(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("report_io: cannot open for reading: " + path.string());
+  }
+  return load_report(in);
+}
+
+}  // namespace nncs

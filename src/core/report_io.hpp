@@ -1,0 +1,33 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/verifier.hpp"
+
+namespace nncs {
+
+/// CSV serialization of verification reports, so long verification runs can
+/// be archived, diffed and re-plotted without re-running (the figure
+/// benches cache their runs through this).
+///
+/// Format: one header line
+///   `nncs-report v1,<root_cells>,<coverage>,<seconds>,<d0>,<d1>,...`
+/// then one line per terminal leaf:
+///   root_index,depth,outcome,seconds,command,box_lo0,box_hi0,...
+/// Values round-trip via max_digits10.
+
+void save_report(const VerifyReport& report, std::ostream& os);
+void save_report(const VerifyReport& report, const std::filesystem::path& path);
+
+class ReportFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a report previously written by `save_report`. Throws
+/// `ReportFormatError` on malformed input.
+VerifyReport load_report(std::istream& is);
+VerifyReport load_report(const std::filesystem::path& path);
+
+}  // namespace nncs

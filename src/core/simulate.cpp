@@ -1,0 +1,59 @@
+#include "core/simulate.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "ode/concrete_integrator.hpp"
+
+namespace nncs {
+
+SimOutcome simulate_closed_loop(const ClosedLoop& system, const Vec& s0, std::size_t u0,
+                                const StateRegion& error, const StateRegion& target,
+                                int max_steps, int substeps, const RobustnessFn& robustness) {
+  if (system.plant == nullptr || system.controller == nullptr) {
+    throw std::invalid_argument("simulate_closed_loop: plant and controller must be set");
+  }
+  if (max_steps < 1 || substeps < 1) {
+    throw std::invalid_argument("simulate_closed_loop: steps must be >= 1");
+  }
+  SimOutcome outcome;
+  outcome.min_robustness = std::numeric_limits<double>::infinity();
+
+  Vec state = s0;
+  std::size_t command = u0;
+  const double h = system.period / substeps;
+
+  auto record = [&](double t, const Vec& s) {
+    if (robustness) {
+      outcome.min_robustness = std::min(outcome.min_robustness, robustness(s));
+    }
+    if (error.contains_point(s, command)) {
+      outcome.reached_error = true;
+    }
+    outcome.trajectory.push_back(TrajectoryPoint{t, s, command});
+  };
+
+  record(0.0, state);
+  for (int j = 0; j < max_steps; ++j) {
+    if (target.contains_point(state, command)) {
+      outcome.reached_target = true;
+      break;
+    }
+    // Controller samples s(jT) now; its output becomes the command for the
+    // *next* period, while the current period runs under `command`.
+    const std::size_t next_command = system.controller->step(state, command);
+    for (int i = 0; i < substeps; ++i) {
+      state = rk4_step(*system.plant, state, system.controller->commands()[command], h);
+      record(static_cast<double>(j) * system.period + static_cast<double>(i + 1) * h, state);
+      if (outcome.reached_error) {
+        outcome.steps = j + 1;
+        return outcome;
+      }
+    }
+    command = next_command;
+    outcome.steps = j + 1;
+  }
+  return outcome;
+}
+
+}  // namespace nncs

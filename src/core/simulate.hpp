@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/reachability.hpp"
+
+namespace nncs {
+
+/// One sampled point of a concrete closed-loop trajectory.
+struct TrajectoryPoint {
+  double t = 0.0;
+  Vec state;
+  /// Command in force at time t (index into U).
+  std::size_t command = 0;
+};
+
+/// Result of one concrete closed-loop simulation.
+struct SimOutcome {
+  bool reached_error = false;
+  bool reached_target = false;
+  /// Control steps executed before stopping.
+  int steps = 0;
+  /// Dense trajectory (substep resolution).
+  std::vector<TrajectoryPoint> trajectory;
+  /// Minimum robustness value along the trajectory (see RobustnessFn);
+  /// +inf when no robustness function was supplied.
+  double min_robustness = 0.0;
+};
+
+/// Scalar safety margin of a concrete state: positive when safely outside
+/// the error set, negative inside it (e.g. ρ − 500 ft for the ACAS Xu).
+/// Falsification minimizes this along trajectories.
+using RobustnessFn = std::function<double(const Vec& state)>;
+
+/// Concretely simulate the closed loop from (s0, u0) for at most `max_steps`
+/// control periods, with `substeps` RK4 steps per period. Matches the
+/// paper's timing semantics: the command computed at step j from s(jT) is
+/// applied over [(j+1)T, (j+2)T); termination (entry into T) is only
+/// sampled at t = jT; the error set is checked at every substep.
+///
+/// NOT validated — this is the falsification/testing oracle, not part of
+/// the soundness argument.
+SimOutcome simulate_closed_loop(const ClosedLoop& system, const Vec& s0, std::size_t u0,
+                                const StateRegion& error, const StateRegion& target,
+                                int max_steps, int substeps,
+                                const RobustnessFn& robustness = nullptr);
+
+}  // namespace nncs

@@ -1,0 +1,58 @@
+#include "core/symbolic_state.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace nncs {
+
+double distance(const SymbolicState& a, const SymbolicState& b) {
+  if (a.command != b.command) {
+    throw std::invalid_argument("distance: symbolic states carry different commands");
+  }
+  return a.box.center_distance(b.box);
+}
+
+SymbolicState join(const SymbolicState& a, const SymbolicState& b) {
+  if (a.command != b.command) {
+    throw std::invalid_argument("join: symbolic states carry different commands");
+  }
+  return SymbolicState{hull(a.box, b.box), a.command};
+}
+
+ResizeStats resize(SymbolicSet& set, std::size_t gamma) {
+  ResizeStats stats;
+  if (gamma == 0) {
+    throw std::invalid_argument("resize: gamma must be >= 1");
+  }
+  while (set.size() > gamma) {
+    // Find the closest same-command pair across all command groups (the
+    // per-group distance matrices of Algorithm 2, flattened into one scan).
+    std::size_t best_i = set.size();
+    std::size_t best_j = set.size();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        if (set[i].command != set[j].command) {
+          continue;
+        }
+        const double d = distance(set[i], set[j]);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i == set.size()) {
+      // Every remaining pair has distinct commands (Remark 3: the size
+      // cannot go below the number of distinct commands present).
+      break;
+    }
+    set[best_i] = join(set[best_i], set[best_j]);
+    set.erase(set.begin() + static_cast<std::ptrdiff_t>(best_j));
+    ++stats.joins;
+  }
+  return stats;
+}
+
+}  // namespace nncs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/box.hpp"
+
+namespace nncs {
+
+/// Symbolic state (paper Def 7): a plant-state box paired with one concrete
+/// actuation command, identified by its index into the finite command set U.
+/// It represents the (infinite) set of closed-loop states
+///   { (s, u) | s ∈ box, u = U[command] }.
+struct SymbolicState {
+  Box box;
+  std::size_t command = 0;
+};
+
+/// Symbolic set (paper Def 8): a finite collection of symbolic states whose
+/// union over-approximates a set of closed-loop states.
+using SymbolicSet = std::vector<SymbolicState>;
+
+/// Def 9: euclidean distance between box centers; only defined for states
+/// carrying the same command (throws otherwise).
+double distance(const SymbolicState& a, const SymbolicState& b);
+
+/// Def 10: smallest symbolic state containing both inputs (same command
+/// required; throws otherwise).
+SymbolicState join(const SymbolicState& a, const SymbolicState& b);
+
+/// Statistics from one `resize` run.
+struct ResizeStats {
+  std::size_t joins = 0;
+};
+
+/// Algorithm 2: greedily join the two closest same-command symbolic states
+/// until the set size is at most `gamma`. Since states with different
+/// commands can never be joined, the size cannot drop below the number of
+/// distinct commands present (Remark 3); when gamma is smaller than that,
+/// the function stops at the smallest reachable size.
+ResizeStats resize(SymbolicSet& set, std::size_t gamma);
+
+}  // namespace nncs

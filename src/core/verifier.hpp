@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/reachability.hpp"
+
+namespace nncs {
+
+/// One terminal cell of the partition-and-refine verification (§7.1): the
+/// initial symbolic state analyzed, its refinement depth d (0 = original
+/// partition cell), the index of the original cell it descends from, and
+/// the analysis verdict.
+struct CellOutcome {
+  SymbolicState initial;
+  int depth = 0;
+  std::size_t root_index = 0;
+  ReachOutcome outcome = ReachOutcome::kHorizonExhausted;
+  ReachStats stats;
+};
+
+/// How a failed cell is refined.
+enum class SplitStrategy {
+  /// Bisect every dimension in `split_dims` (2^k children — the paper's
+  /// §7.1 scheme).
+  kAllDims,
+  /// Bisect only the relatively widest dimension of `split_dims` (width
+  /// normalized by the root cell's width, so mixed units compare sanely).
+  /// This is the refinement heuristic the paper proposes as future work
+  /// (§8: "split along the [most influential] dimension only") with width
+  /// as the influence proxy; 2 children per refinement.
+  kWidestDim,
+};
+
+/// Parameters of the partition-and-refine driver.
+struct VerifyConfig {
+  ReachConfig reach;
+  /// Maximum split-refinement depth (the paper uses 2).
+  int max_refinement_depth = 2;
+  /// State dimensions bisected on refinement (the paper bisects x0, y0, ψ0,
+  /// i.e. 2^3 children per refinement).
+  std::vector<std::size_t> split_dims;
+  SplitStrategy split_strategy = SplitStrategy::kAllDims;
+  /// Worker threads for the per-cell analyses.
+  std::size_t threads = 1;
+};
+
+/// Aggregated verification report.
+struct VerifyReport {
+  /// Every terminal cell (proved, or failed at max depth).
+  std::vector<CellOutcome> leaves;
+  /// Number of original (depth-0) cells, the paper's K0.
+  std::size_t root_cells = 0;
+  /// n_d: proved cells per refinement depth.
+  std::vector<std::size_t> proved_by_depth;
+  /// Paper coverage metric  c = 100/K0 · Σ_d n_d / (2^k)^d  where k is the
+  /// number of split dimensions.
+  double coverage_percent = 0.0;
+  std::size_t proved_leaves = 0;
+  std::size_t failed_leaves = 0;
+  double seconds = 0.0;
+};
+
+/// Partition-and-refine safety verifier. Each initial cell is an
+/// independent verification problem run on a thread pool; cells that cannot
+/// be proved are bisected along `split_dims` and re-analyzed up to
+/// `max_refinement_depth` (§7.1 "Split refinement").
+class Verifier {
+ public:
+  /// Non-owning: the system and regions must outlive the verifier.
+  Verifier(const ClosedLoop& system, const StateRegion& error, const StateRegion& target);
+
+  [[nodiscard]] VerifyReport verify(const SymbolicSet& initial_cells,
+                                    const VerifyConfig& config) const;
+
+ private:
+  const ClosedLoop* system_;
+  const StateRegion* error_;
+  const StateRegion* target_;
+};
+
+/// The paper's coverage formula, exposed for reporting code:
+/// c = 100/K0 · Σ_d n_d / split_factor^d.
+double coverage_percent(std::size_t root_cells, const std::vector<std::size_t>& proved_by_depth,
+                        std::size_t split_factor);
+
+}  // namespace nncs

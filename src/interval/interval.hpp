@@ -1,0 +1,141 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "interval/rounding.hpp"
+
+namespace nncs {
+
+/// Closed real interval [lo, hi] with outward-rounded arithmetic.
+///
+/// This is the soundness boundary of the whole library: every quantity that
+/// feeds a safety verdict (validated ODE enclosures, abstract network
+/// outputs, error/target set tests) is represented as an `Interval`, and
+/// every operation over-approximates the true real-arithmetic image
+/// (see `rounding.hpp` for the rounding model).
+///
+/// Invariants: `lo() <= hi()`, neither bound is NaN. Infinite bounds are
+/// allowed (`Interval::entire()`). There is no empty interval; operations
+/// that can produce an empty result (`intersect`) return `std::optional`.
+class Interval {
+ public:
+  /// The degenerate interval [0, 0].
+  constexpr Interval() : lo_(0.0), hi_(0.0) {}
+
+  /// The degenerate interval [v, v]. Implicit so doubles mix naturally with
+  /// intervals in generic (templated-scalar) dynamics code.
+  constexpr Interval(double v) : lo_(v), hi_(v) {}  // NOLINT(google-explicit-constructor)
+
+  /// The interval [lo, hi]. Throws `std::invalid_argument` if lo > hi or a
+  /// bound is NaN.
+  Interval(double lo, double hi);
+
+  /// [-inf, +inf].
+  static Interval entire();
+
+  /// [v - radius, v + radius] with outward rounding; radius must be >= 0.
+  static Interval centered(double v, double radius);
+
+  [[nodiscard]] constexpr double lo() const { return lo_; }
+  [[nodiscard]] constexpr double hi() const { return hi_; }
+
+  /// Midpoint, rounded to nearest (a *representative*, not a bound).
+  [[nodiscard]] double mid() const;
+
+  /// Upper bound on the width hi - lo.
+  [[nodiscard]] double width() const { return rnd::sub_up(hi_, lo_); }
+
+  /// Upper bound on the radius (half-width).
+  [[nodiscard]] double rad() const;
+
+  /// Largest absolute value of the interval: max(|lo|, |hi|).
+  [[nodiscard]] double mag() const;
+
+  [[nodiscard]] bool is_degenerate() const { return lo_ == hi_; }
+  [[nodiscard]] bool is_finite() const;
+
+  [[nodiscard]] bool contains(double v) const { return lo_ <= v && v <= hi_; }
+  [[nodiscard]] bool contains(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  /// Strict containment in the interior (needed by the Picard fixed-point
+  /// test: f([B]) must land strictly inside the candidate).
+  [[nodiscard]] bool contains_in_interior(const Interval& other) const {
+    return lo_ < other.lo_ && other.hi_ < hi_;
+  }
+  [[nodiscard]] bool intersects(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// Exact bound equality (use sparingly; mostly for tests).
+  bool operator==(const Interval& other) const = default;
+
+  Interval operator-() const { return Interval{-hi_, -lo_, Unchecked{}}; }
+
+  Interval& operator+=(const Interval& rhs);
+  Interval& operator-=(const Interval& rhs);
+  Interval& operator*=(const Interval& rhs);
+  Interval& operator/=(const Interval& rhs);
+
+  /// Widen both bounds outward by an absolute `delta` >= 0.
+  [[nodiscard]] Interval inflated(double delta) const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Unchecked {};
+  constexpr Interval(double lo, double hi, Unchecked) : lo_(lo), hi_(hi) {}
+
+  friend Interval make_unchecked(double lo, double hi);
+
+  double lo_;
+  double hi_;
+};
+
+/// Internal factory skipping invariant checks (bounds already validated).
+inline Interval make_unchecked(double lo, double hi) {
+  return Interval{lo, hi, Interval::Unchecked{}};
+}
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator*(const Interval& a, const Interval& b);
+/// Division; throws `std::domain_error` if `b` contains zero.
+Interval operator/(const Interval& a, const Interval& b);
+
+/// Smallest interval containing both arguments.
+Interval hull(const Interval& a, const Interval& b);
+/// Intersection, or nullopt when disjoint.
+std::optional<Interval> intersect(const Interval& a, const Interval& b);
+
+/// x^2 (tighter than x*x: the result is never negative).
+Interval sqr(const Interval& x);
+/// sqrt over x ∩ [0, inf); throws `std::domain_error` when hi < 0.
+Interval sqrt(const Interval& x);
+/// |x|.
+Interval abs(const Interval& x);
+/// Integer power (n >= 0).
+Interval pow(const Interval& x, int n);
+Interval exp(const Interval& x);
+/// Natural log over x ∩ (0, inf); throws `std::domain_error` when hi <= 0.
+Interval log(const Interval& x);
+/// Sound sine enclosure. Arguments with |x| > 1e12 fall back to [-1, 1].
+Interval sin(const Interval& x);
+/// Sound cosine enclosure (same domain note as `sin`).
+Interval cos(const Interval& x);
+/// Monotone arctangent enclosure.
+Interval atan(const Interval& x);
+/// Sound atan2 over an (y, x) box. Returns [-pi, pi] when the box contains
+/// the origin or crosses the negative-x branch cut.
+Interval atan2(const Interval& y, const Interval& x);
+Interval min(const Interval& a, const Interval& b);
+Interval max(const Interval& a, const Interval& b);
+
+/// Tight enclosure of pi.
+Interval pi_interval();
+
+std::ostream& operator<<(std::ostream& os, const Interval& x);
+
+}  // namespace nncs

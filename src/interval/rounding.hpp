@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+/// Directed-rounding primitives.
+///
+/// We do not rely on `fesetround` (fragile under optimizing compilers without
+/// `-frounding-math` and not thread-friendly). Instead every arithmetic
+/// result is widened by one ulp in the required direction via
+/// `std::nextafter`. With IEEE-754 correctly-rounded `+ - * /` (error
+/// <= 0.5 ulp), one `nextafter` step is a sound outward bound; the price is
+/// at most one extra ulp of conservatism per operation.
+///
+/// Standard-library transcendentals (`sin`, `exp`, ...) are not guaranteed
+/// correctly rounded; glibc documents errors of a few ulps, so we widen those
+/// results by `kLibmUlps` steps.
+namespace nncs::rnd {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Number of `nextafter` steps used to bound libm transcendental error.
+inline constexpr int kLibmUlps = 4;
+
+/// Largest double strictly below `x` (identity on -inf).
+inline double next_down(double x) { return std::nextafter(x, -kInf); }
+
+/// Smallest double strictly above `x` (identity on +inf).
+inline double next_up(double x) { return std::nextafter(x, kInf); }
+
+/// Move `x` down by `n` ulps.
+inline double step_down(double x, int n) {
+  for (int i = 0; i < n; ++i) {
+    x = next_down(x);
+  }
+  return x;
+}
+
+/// Move `x` up by `n` ulps.
+inline double step_up(double x, int n) {
+  for (int i = 0; i < n; ++i) {
+    x = next_up(x);
+  }
+  return x;
+}
+
+inline double add_down(double a, double b) { return next_down(a + b); }
+inline double add_up(double a, double b) { return next_up(a + b); }
+inline double sub_down(double a, double b) { return next_down(a - b); }
+inline double sub_up(double a, double b) { return next_up(a - b); }
+inline double mul_down(double a, double b) { return next_down(a * b); }
+inline double mul_up(double a, double b) { return next_up(a * b); }
+inline double div_down(double a, double b) { return next_down(a / b); }
+inline double div_up(double a, double b) { return next_up(a / b); }
+
+}  // namespace nncs::rnd

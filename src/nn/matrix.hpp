@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace nncs {
+
+/// Dense row-major matrix of doubles — the weight storage for feedforward
+/// networks and for the symbolic bound propagation. Deliberately minimal:
+/// the library needs storage plus element access, not a linear-algebra DSL.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace nncs

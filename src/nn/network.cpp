@@ -1,0 +1,132 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace nncs {
+
+namespace {
+
+void validate_layers(const std::vector<Layer>& layers) {
+  if (layers.empty()) {
+    throw std::invalid_argument("Network: at least one affine layer required");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Layer& layer = layers[i];
+    if (layer.weights.rows() == 0 || layer.weights.cols() == 0) {
+      throw std::invalid_argument("Network: empty layer " + std::to_string(i));
+    }
+    if (layer.biases.size() != layer.weights.rows()) {
+      std::ostringstream oss;
+      oss << "Network: layer " << i << " bias size " << layer.biases.size()
+          << " != weight rows " << layer.weights.rows();
+      throw std::invalid_argument(oss.str());
+    }
+    if (i > 0 && layer.weights.cols() != layers[i - 1].weights.rows()) {
+      std::ostringstream oss;
+      oss << "Network: layer " << i << " input dim " << layer.weights.cols()
+          << " != previous layer output dim " << layers[i - 1].weights.rows();
+      throw std::invalid_argument(oss.str());
+    }
+  }
+}
+
+}  // namespace
+
+Network::Network(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  validate_layers(layers_);
+}
+
+std::size_t Network::input_dim() const {
+  return layers_.empty() ? 0 : layers_.front().weights.cols();
+}
+
+std::size_t Network::output_dim() const {
+  return layers_.empty() ? 0 : layers_.back().weights.rows();
+}
+
+std::size_t Network::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.weights.rows() * layer.weights.cols() + layer.biases.size();
+  }
+  return n;
+}
+
+std::vector<std::size_t> Network::layer_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(layers_.size() + 1);
+  sizes.push_back(input_dim());
+  for (const auto& layer : layers_) {
+    sizes.push_back(layer.weights.rows());
+  }
+  return sizes;
+}
+
+Vec Network::eval(const Vec& x) const {
+  if (x.size() != input_dim()) {
+    throw std::invalid_argument("Network::eval: input dimension mismatch");
+  }
+  Vec current = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool is_output = li + 1 == layers_.size();
+    Vec next(layer.weights.rows());
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      double acc = layer.biases[r];
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        acc += layer.weights(r, c) * current[c];
+      }
+      next[r] = is_output ? acc : std::max(0.0, acc);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Network::Trace Network::eval_trace(const Vec& x) const {
+  if (x.size() != input_dim()) {
+    throw std::invalid_argument("Network::eval_trace: input dimension mismatch");
+  }
+  Trace trace;
+  trace.activations.reserve(layers_.size() + 1);
+  trace.preactivations.reserve(layers_.size());
+  trace.activations.push_back(x);
+  Vec current = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool is_output = li + 1 == layers_.size();
+    Vec pre(layer.weights.rows());
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      double acc = layer.biases[r];
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        acc += layer.weights(r, c) * current[c];
+      }
+      pre[r] = acc;
+    }
+    trace.preactivations.push_back(pre);
+    Vec post(pre.size());
+    for (std::size_t r = 0; r < pre.size(); ++r) {
+      post[r] = is_output ? pre[r] : std::max(0.0, pre[r]);
+    }
+    trace.activations.push_back(post);
+    current = std::move(post);
+  }
+  return trace;
+}
+
+Network make_zero_network(const std::vector<std::size_t>& sizes) {
+  if (sizes.size() < 2) {
+    throw std::invalid_argument("make_zero_network: need at least input and output sizes");
+  }
+  std::vector<Layer> layers;
+  layers.reserve(sizes.size() - 1);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    layers.push_back(Layer{Matrix(sizes[i], sizes[i - 1]), Vec(sizes[i], 0.0)});
+  }
+  return Network{std::move(layers)};
+}
+
+}  // namespace nncs

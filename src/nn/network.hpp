@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "interval/box.hpp"
+#include "nn/matrix.hpp"
+
+namespace nncs {
+
+/// One fully-connected layer: pre-activation z = W x + b.
+/// Whether ReLU is applied depends on the layer's position in the network
+/// (hidden layers are rectified, the output layer is affine — Def 2).
+struct Layer {
+  Matrix weights;  ///< rows = layer size, cols = previous layer size
+  Vec biases;      ///< size = layer size
+};
+
+/// ReLU feedforward deep neural network (paper Def 2):
+/// F = affine_L ∘ relu ∘ affine_{L-1} ∘ ... ∘ relu ∘ affine_2, acting on the
+/// identity input layer. `layers()[i]` is the (i+2)-th paper layer's affine
+/// map; all but the last are followed by ReLU.
+class Network {
+ public:
+  Network() = default;
+
+  /// Build from explicit layers. Throws `std::invalid_argument` if
+  /// consecutive layer dimensions do not chain or a bias size mismatches.
+  explicit Network(std::vector<Layer> layers);
+
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t output_dim() const;
+  /// Number of affine layers (= paper L - 1).
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  /// Total trainable parameter count.
+  [[nodiscard]] std::size_t num_parameters() const;
+
+  /// Paper layer-size vector {k_1, ..., k_L}.
+  [[nodiscard]] std::vector<std::size_t> layer_sizes() const;
+
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  /// Mutable access for the trainer.
+  Layer& layer(std::size_t i) { return layers_[i]; }
+
+  /// Concrete forward pass.
+  [[nodiscard]] Vec eval(const Vec& x) const;
+
+  /// Forward pass recording every post-activation vector (activations[0] is
+  /// the input, activations.back() the output) and every pre-activation
+  /// vector; used by the trainer's backward pass.
+  struct Trace {
+    std::vector<Vec> activations;
+    std::vector<Vec> preactivations;
+  };
+  [[nodiscard]] Trace eval_trace(const Vec& x) const;
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+/// Build a network with the given layer sizes (input, hidden..., output) and
+/// all parameters zero — the starting point for the trainer's initializer.
+Network make_zero_network(const std::vector<std::size_t>& sizes);
+
+}  // namespace nncs

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "nn/network.hpp"
+
+namespace nncs {
+
+/// Text serialization of `Network` in a simple `.nnet`-inspired format:
+///
+///   NNCS-NET 1
+///   layers <L>
+///   sizes k_1 k_2 ... k_L
+///   # per affine layer, biases then weight rows:
+///   bias <L values>
+///   row  <...>
+///
+/// Round-trips bit-exactly (values written with max_digits10). Used to cache
+/// the trained ACAS Xu networks between runs.
+
+/// Write `net` to `os`. Throws `std::runtime_error` on stream failure.
+void save_network(const Network& net, std::ostream& os);
+void save_network(const Network& net, const std::filesystem::path& path);
+
+/// Parse a network. Throws `NnetFormatError` on malformed input.
+Network load_network(std::istream& is);
+Network load_network(const std::filesystem::path& path);
+
+class NnetFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace nncs

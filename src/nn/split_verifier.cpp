@@ -1,0 +1,111 @@
+#include "nn/split_verifier.hpp"
+
+#include <stdexcept>
+
+#include "nn/argmin_analysis.hpp"
+#include "nn/interval_prop.hpp"
+#include "nn/symbolic_prop.hpp"
+
+namespace nncs {
+
+namespace {
+
+Box propagate(const Network& net, const Box& input, bool use_symbolic) {
+  if (use_symbolic) {
+    return symbolic_propagate(net, input).output_box;
+  }
+  return interval_propagate(net, input);
+}
+
+SplitVerifyResult verify_rec(const Network& net, const Box& input, const OutputProperty& property,
+                             const SplitVerifyConfig& config, int depth) {
+  SplitVerifyResult result;
+  result.boxes_explored = 1;
+
+  const Box output = propagate(net, input, config.use_symbolic);
+  if (property.certainly_holds(output)) {
+    result.verdict = Verdict::kProved;
+    return result;
+  }
+
+  // Try to disprove with cheap concrete samples before splitting.
+  const Vec mid = input.midpoint();
+  if (!property.holds(net.eval(mid))) {
+    result.verdict = Verdict::kDisproved;
+    result.counterexample = mid;
+    return result;
+  }
+
+  if (depth >= config.max_depth) {
+    result.verdict = Verdict::kUnknown;
+    return result;
+  }
+
+  const auto [lower, upper] = input.bisect(input.widest_dim());
+  const SplitVerifyResult left = verify_rec(net, lower, property, config, depth + 1);
+  result.boxes_explored += left.boxes_explored;
+  if (left.verdict == Verdict::kDisproved) {
+    result.verdict = Verdict::kDisproved;
+    result.counterexample = left.counterexample;
+    return result;
+  }
+  const SplitVerifyResult right = verify_rec(net, upper, property, config, depth + 1);
+  result.boxes_explored += right.boxes_explored;
+  if (right.verdict == Verdict::kDisproved) {
+    result.verdict = Verdict::kDisproved;
+    result.counterexample = right.counterexample;
+    return result;
+  }
+  if (left.verdict == Verdict::kProved && right.verdict == Verdict::kProved) {
+    result.verdict = Verdict::kProved;
+  } else {
+    result.verdict = Verdict::kUnknown;
+  }
+  return result;
+}
+
+}  // namespace
+
+SplitVerifyResult split_verify(const Network& net, const Box& input,
+                               const OutputProperty& property, const SplitVerifyConfig& config) {
+  if (input.dim() != net.input_dim()) {
+    throw std::invalid_argument("split_verify: input dimension mismatch");
+  }
+  if (!property.certainly_holds || !property.holds) {
+    throw std::invalid_argument("split_verify: property callbacks must be set");
+  }
+  return verify_rec(net, input, property, config, 0);
+}
+
+OutputProperty argmin_is(std::size_t index) {
+  OutputProperty p;
+  p.certainly_holds = [index](const Box& output) {
+    const auto candidates = possible_argmin(output);
+    return candidates.size() == 1 && candidates.front() == index;
+  };
+  p.holds = [index](const Vec& output) { return concrete_argmin(output) == index; };
+  return p;
+}
+
+OutputProperty argmin_is_not(std::size_t index) {
+  OutputProperty p;
+  p.certainly_holds = [index](const Box& output) {
+    const auto candidates = possible_argmin(output);
+    return std::find(candidates.begin(), candidates.end(), index) == candidates.end();
+  };
+  p.holds = [index](const Vec& output) { return concrete_argmin(output) != index; };
+  return p;
+}
+
+OutputProperty output_in_range(std::size_t index, double lo, double hi) {
+  OutputProperty p;
+  p.certainly_holds = [index, lo, hi](const Box& output) {
+    return output[index].lo() >= lo && output[index].hi() <= hi;
+  };
+  p.holds = [index, lo, hi](const Vec& output) {
+    return output[index] >= lo && output[index] <= hi;
+  };
+  return p;
+}
+
+}  // namespace nncs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "interval/box.hpp"
+#include "nn/network.hpp"
+
+namespace nncs {
+
+/// Outcome of a network-level verification query.
+enum class Verdict {
+  kProved,     ///< the property holds for every input in the box
+  kDisproved,  ///< a concrete counterexample input was found
+  kUnknown     ///< neither could be established within the split budget
+};
+
+/// A pre/post-condition style property of the network output.
+struct OutputProperty {
+  /// Must return true only when every concrete output inside the enclosure
+  /// satisfies the property (sound "certainly holds" test on a box).
+  std::function<bool(const Box& output_enclosure)> certainly_holds;
+  /// Exact check on one concrete output (used for counterexample search).
+  std::function<bool(const Vec& output)> holds;
+};
+
+struct SplitVerifyResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Number of (sub-)boxes analyzed.
+  int boxes_explored = 0;
+  /// Input witnessing a violation, when verdict == kDisproved.
+  std::optional<Vec> counterexample;
+};
+
+struct SplitVerifyConfig {
+  /// Maximum bisection depth (0 = single box, no refinement).
+  int max_depth = 12;
+  /// Use the symbolic transformer (true) or plain intervals (false).
+  bool use_symbolic = true;
+};
+
+/// Standalone network-level verifier in the ReluVal style (§2 "neural
+/// network level"): decide whether `property` holds for all inputs in
+/// `input` by abstract interpretation with recursive input bisection along
+/// the widest dimension. Counterexamples are searched at box midpoints and
+/// corners.
+SplitVerifyResult split_verify(const Network& net, const Box& input,
+                               const OutputProperty& property,
+                               const SplitVerifyConfig& config = {});
+
+/// Convenience property: "output `index` is the strict argmin".
+OutputProperty argmin_is(std::size_t index);
+
+/// Convenience property: "output `index` is never the argmin" (e.g. the
+/// ACAS Xu alerting properties: close head-on geometries must not select
+/// COC).
+OutputProperty argmin_is_not(std::size_t index);
+
+/// Convenience property: "output `index` stays within [lo, hi]".
+OutputProperty output_in_range(std::size_t index, double lo, double hi);
+
+}  // namespace nncs

@@ -1,0 +1,144 @@
+#include "nn/symbolic_prop.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace nncs {
+
+namespace {
+
+/// A few ulps per coefficient operation, folded into the form's error term.
+constexpr double kCoeffSlack = 4.0 * std::numeric_limits<double>::epsilon();
+
+/// result += k * form (component-wise on coefficients and constant), with
+/// the rounding of each fused update bounded into result.err.
+void axpy(AffineForm& result, double k, const AffineForm& form) {
+  double abs_sum = 0.0;
+  for (std::size_t i = 0; i < result.coeffs.size(); ++i) {
+    result.coeffs[i] += k * form.coeffs[i];
+    abs_sum += std::fabs(result.coeffs[i]);
+  }
+  result.constant += k * form.constant;
+  abs_sum += std::fabs(result.constant);
+  result.err += std::fabs(k) * form.err + kCoeffSlack * abs_sum;
+}
+
+AffineForm zero_form(std::size_t input_dim) { return AffineForm{Vec(input_dim, 0.0), 0.0, 0.0}; }
+
+}  // namespace
+
+Interval concretize(const AffineForm& form, const Box& input) {
+  Interval acc{form.constant};
+  for (std::size_t i = 0; i < form.coeffs.size(); ++i) {
+    if (form.coeffs[i] != 0.0) {
+      acc += Interval{form.coeffs[i]} * input[i];
+    }
+  }
+  return acc.inflated(form.err + 1e-12);
+}
+
+SymbolicBounds symbolic_propagate(const Network& net, const Box& input) {
+  if (input.dim() != net.input_dim()) {
+    throw std::invalid_argument("symbolic_propagate: input dimension mismatch");
+  }
+  const std::size_t n_in = input.dim();
+
+  // Input layer: identity bounds.
+  std::vector<NeuronBounds> current(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) {
+    AffineForm id = zero_form(n_in);
+    id.coeffs[i] = 1.0;
+    current[i] = NeuronBounds{id, id};
+  }
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const Layer& layer = net.layers()[li];
+    const bool is_output = li + 1 == net.num_layers();
+    std::vector<NeuronBounds> next(layer.weights.rows());
+
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      AffineForm lower = zero_form(n_in);
+      AffineForm upper = zero_form(n_in);
+      lower.constant = layer.biases[r];
+      upper.constant = layer.biases[r];
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        const double w = layer.weights(r, c);
+        if (w == 0.0) {
+          continue;
+        }
+        if (w >= 0.0) {
+          axpy(lower, w, current[c].lower);
+          axpy(upper, w, current[c].upper);
+        } else {
+          axpy(lower, w, current[c].upper);
+          axpy(upper, w, current[c].lower);
+        }
+      }
+
+      if (is_output) {
+        next[r] = NeuronBounds{std::move(lower), std::move(upper)};
+        continue;
+      }
+
+      // ReLU relaxation on the pre-activation range [l, u].
+      const double l = concretize(lower, input).lo();
+      const double u = concretize(upper, input).hi();
+      if (u <= 0.0) {
+        next[r] = NeuronBounds{zero_form(n_in), zero_form(n_in)};
+      } else if (l >= 0.0) {
+        next[r] = NeuronBounds{std::move(lower), std::move(upper)};
+      } else {
+        // Unstable: chord upper bound, α·lower lower bound.
+        const double lambda = u / (u - l);
+        const double mu = -lambda * l;
+        AffineForm relaxed_upper = zero_form(n_in);
+        axpy(relaxed_upper, lambda, upper);
+        relaxed_upper.constant += mu;
+        // Cover the double-precision computation of the chord parameters.
+        relaxed_upper.err +=
+            kCoeffSlack * (std::fabs(mu) + std::fabs(lambda) * (std::fabs(l) + std::fabs(u)));
+        AffineForm relaxed_lower = zero_form(n_in);
+        if (u >= -l) {
+          relaxed_lower = lower;  // α = 1
+        }
+        // else α = 0: keep the zero form.
+        next[r] = NeuronBounds{std::move(relaxed_lower), std::move(relaxed_upper)};
+      }
+    }
+    current = std::move(next);
+  }
+
+  SymbolicBounds result;
+  result.input = input;
+  result.outputs = std::move(current);
+  std::vector<Interval> out_dims;
+  out_dims.reserve(result.outputs.size());
+  for (const auto& nb : result.outputs) {
+    const Interval lo = concretize(nb.lower, input);
+    const Interval hi = concretize(nb.upper, input);
+    out_dims.emplace_back(std::min(lo.lo(), hi.hi()), std::max(lo.lo(), hi.hi()));
+  }
+  result.output_box = Box{std::move(out_dims)};
+  return result;
+}
+
+Interval output_difference(const SymbolicBounds& bounds, std::size_t i, std::size_t j) {
+  if (i >= bounds.outputs.size() || j >= bounds.outputs.size()) {
+    throw std::out_of_range("output_difference: index out of range");
+  }
+  const std::size_t n_in = bounds.input.dim();
+  // y_i − y_j >= lower_i(x) − upper_j(x)  and  <= upper_i(x) − lower_j(x).
+  AffineForm diff_lower = zero_form(n_in);
+  axpy(diff_lower, 1.0, bounds.outputs[i].lower);
+  axpy(diff_lower, -1.0, bounds.outputs[j].upper);
+  AffineForm diff_upper = zero_form(n_in);
+  axpy(diff_upper, 1.0, bounds.outputs[i].upper);
+  axpy(diff_upper, -1.0, bounds.outputs[j].lower);
+  const double lo = concretize(diff_lower, bounds.input).lo();
+  const double hi = concretize(diff_upper, bounds.input).hi();
+  return Interval{std::min(lo, hi), std::max(lo, hi)};
+}
+
+}  // namespace nncs

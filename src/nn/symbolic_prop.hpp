@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "interval/box.hpp"
+#include "nn/network.hpp"
+
+namespace nncs {
+
+/// Affine function of the network input:  x ↦ coeffs·x + constant ± err.
+/// `err` accumulates the worst-case double-precision rounding of the
+/// coefficient arithmetic (a few ulps of the running magnitudes per
+/// operation) so concretized bounds stay conservative.
+struct AffineForm {
+  Vec coeffs;
+  double constant = 0.0;
+  double err = 0.0;
+};
+
+/// Sound lower and upper affine bounds for one neuron:
+///   lower(x) <= neuron(x) <= upper(x)  for all x in the analyzed box.
+struct NeuronBounds {
+  AffineForm lower;
+  AffineForm upper;
+};
+
+/// Result of the symbolic propagation: per-output affine bounds plus their
+/// interval concretization over the analyzed input box.
+struct SymbolicBounds {
+  Box input;
+  std::vector<NeuronBounds> outputs;
+  Box output_box;
+};
+
+/// Symbolic (affine-bound) abstract transformer for ReLU networks — the
+/// ReluVal/DeepPoly family of §6.6. Affine layers propagate the bounds
+/// exactly; an unstable ReLU with pre-activation range [l, u] (l < 0 < u) is
+/// relaxed to
+///   upper: λ·up(x) + μ   with  λ = u/(u−l), μ = −λ·l   (chord),
+///   lower: α·low(x)      with  α ∈ {0, 1} chosen by the larger-side
+///                        heuristic (α = 1 if u >= −l else 0).
+///
+/// Soundness note: coefficient arithmetic runs in double precision with the
+/// worst-case rounding tracked in each form's `err` term (a few ulps of the
+/// running magnitudes per operation); concretization evaluates the forms in
+/// outward-rounded interval arithmetic and adds `err`. The plain interval
+/// transformer remains the bitwise-rigorous fallback.
+SymbolicBounds symbolic_propagate(const Network& net, const Box& input);
+
+/// Sound interval enclosure of an affine form over a box (outward-rounded,
+/// slack-inflated).
+Interval concretize(const AffineForm& form, const Box& input);
+
+/// Enclosure of the *difference* output_i − output_j over the input box,
+/// from the affine bounds (tighter than subtracting concretized intervals
+/// because shared input dependencies cancel symbolically).
+Interval output_difference(const SymbolicBounds& bounds, std::size_t i, std::size_t j);
+
+}  // namespace nncs

@@ -1,0 +1,191 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace nncs {
+
+namespace {
+
+void validate_dataset(const Dataset& data, std::size_t input_dim, std::size_t output_dim) {
+  if (data.inputs.size() != data.targets.size()) {
+    throw std::invalid_argument("Trainer: inputs/targets size mismatch");
+  }
+  if (data.size() == 0) {
+    throw std::invalid_argument("Trainer: empty dataset");
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.inputs[i].size() != input_dim || data.targets[i].size() != output_dim) {
+      throw std::invalid_argument("Trainer: example dimension mismatch at index " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+/// Per-layer gradient accumulator mirroring the network's parameter shape.
+struct LayerGrad {
+  Matrix weights;
+  Vec biases;
+};
+
+/// Adam first/second moment state per layer.
+struct LayerMoments {
+  Matrix m_w;
+  Matrix v_w;
+  Vec m_b;
+  Vec v_b;
+};
+
+void backward(const Network& net, const Network::Trace& trace, const Vec& target,
+              std::vector<LayerGrad>& grads) {
+  const std::size_t num_layers = net.num_layers();
+  const Vec& output = trace.activations.back();
+  // dL/dy for L = (1/p) * sum (y - t)^2.
+  Vec delta(output.size());
+  const double scale = 2.0 / static_cast<double>(output.size());
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    delta[i] = scale * (output[i] - target[i]);
+  }
+  for (std::size_t li = num_layers; li-- > 0;) {
+    const Layer& layer = net.layers()[li];
+    const Vec& input_act = trace.activations[li];
+    // Accumulate gradients for this layer.
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      grads[li].biases[r] += delta[r];
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        grads[li].weights(r, c) += delta[r] * input_act[c];
+      }
+    }
+    if (li == 0) {
+      break;
+    }
+    // Propagate delta to the previous layer through W^T and the ReLU mask.
+    const Vec& prev_pre = trace.preactivations[li - 1];
+    Vec prev_delta(layer.weights.cols(), 0.0);
+    for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+      if (prev_pre[c] <= 0.0) {
+        continue;  // dead ReLU: no gradient flows
+      }
+      double acc = 0.0;
+      for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+        acc += layer.weights(r, c) * delta[r];
+      }
+      prev_delta[c] = acc;
+    }
+    delta = std::move(prev_delta);
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainerConfig config) : config_(std::move(config)) {
+  if (config_.epochs < 1 || config_.batch_size < 1 || config_.learning_rate <= 0.0) {
+    throw std::invalid_argument("Trainer: invalid hyper-parameters");
+  }
+}
+
+Network Trainer::train(const Dataset& data, std::size_t input_dim,
+                       std::size_t output_dim) const {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(input_dim);
+  for (const auto h : config_.hidden) {
+    sizes.push_back(h);
+  }
+  sizes.push_back(output_dim);
+  Network net = make_zero_network(sizes);
+
+  // He initialization (appropriate for ReLU activations).
+  Rng rng(config_.seed);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    Layer& layer = net.layer(li);
+    const double stddev = std::sqrt(2.0 / static_cast<double>(layer.weights.cols()));
+    for (double& w : layer.weights.data()) {
+      w = rng.normal(stddev);
+    }
+  }
+  fit(net, data);
+  return net;
+}
+
+double Trainer::fit(Network& net, const Dataset& data) const {
+  validate_dataset(data, net.input_dim(), net.output_dim());
+  Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<LayerGrad> grads;
+  std::vector<LayerMoments> moments;
+  for (const auto& layer : net.layers()) {
+    grads.push_back(LayerGrad{Matrix(layer.weights.rows(), layer.weights.cols()),
+                              Vec(layer.biases.size(), 0.0)});
+    moments.push_back(LayerMoments{Matrix(layer.weights.rows(), layer.weights.cols()),
+                                   Matrix(layer.weights.rows(), layer.weights.cols()),
+                                   Vec(layer.biases.size(), 0.0), Vec(layer.biases.size(), 0.0)});
+  }
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  long long adam_t = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (auto& g : grads) {
+        std::fill(g.weights.data().begin(), g.weights.data().end(), 0.0);
+        std::fill(g.biases.begin(), g.biases.end(), 0.0);
+      }
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const std::size_t ex = order[idx];
+        const auto trace = net.eval_trace(data.inputs[ex]);
+        backward(net, trace, data.targets[ex], grads);
+      }
+      ++adam_t;
+      const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(adam_t));
+      const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(adam_t));
+      for (std::size_t li = 0; li < net.num_layers(); ++li) {
+        Layer& layer = net.layer(li);
+        auto update = [&](double& param, double grad_sum, double& m, double& v) {
+          const double g = grad_sum * inv_batch;
+          m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+          v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+          const double m_hat = m / bc1;
+          const double v_hat = v / bc2;
+          param -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.adam_epsilon);
+        };
+        auto& w_data = layer.weights.data();
+        auto& gw = grads[li].weights.data();
+        auto& mw = moments[li].m_w.data();
+        auto& vw = moments[li].v_w.data();
+        for (std::size_t p = 0; p < w_data.size(); ++p) {
+          update(w_data[p], gw[p], mw[p], vw[p]);
+        }
+        for (std::size_t p = 0; p < layer.biases.size(); ++p) {
+          update(layer.biases[p], grads[li].biases[p], moments[li].m_b[p], moments[li].v_b[p]);
+        }
+      }
+    }
+  }
+  return mse(net, data);
+}
+
+double Trainer::mse(const Network& net, const Dataset& data) {
+  if (data.size() == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Vec y = net.eval(data.inputs[i]);
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const double d = y[j] - data.targets[i][j];
+      total += d * d;
+    }
+  }
+  return total / static_cast<double>(data.size() * net.output_dim());
+}
+
+}  // namespace nncs

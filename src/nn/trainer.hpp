@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace nncs {
+
+/// Supervised-learning dataset: paired input/target vectors.
+struct Dataset {
+  std::vector<Vec> inputs;
+  std::vector<Vec> targets;
+
+  [[nodiscard]] std::size_t size() const { return inputs.size(); }
+
+  /// Append one example; dimensions are validated lazily by the trainer.
+  void add(Vec input, Vec target) {
+    inputs.push_back(std::move(input));
+    targets.push_back(std::move(target));
+  }
+};
+
+/// Hyper-parameters for `Trainer`.
+struct TrainerConfig {
+  /// Hidden layer sizes (the paper's ACAS Xu networks use six layers of 50;
+  /// our default substitution is smaller — see DESIGN.md).
+  std::vector<std::size_t> hidden{32, 32, 32};
+  int epochs = 40;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double adam_epsilon = 1e-8;
+  std::uint64_t seed = 42;
+};
+
+/// Minimal Adam/MSE trainer for ReLU networks. The paper assumes networks
+/// "trained with supervised learning" on lookup-table data; this provides
+/// that capability in-repo so the ACAS Xu controller can be synthesized
+/// without third-party weights.
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config);
+
+  /// He-initialize a fresh network with the configured hidden sizes and fit
+  /// it to `data` with mini-batch Adam on the mean-squared-error loss.
+  /// Deterministic for a fixed config (seeded shuffling and init).
+  [[nodiscard]] Network train(const Dataset& data, std::size_t input_dim,
+                              std::size_t output_dim) const;
+
+  /// Continue training an existing network in place; returns final MSE.
+  double fit(Network& net, const Dataset& data) const;
+
+  /// Mean squared error of `net` over `data`.
+  static double mse(const Network& net, const Dataset& data);
+
+  [[nodiscard]] const TrainerConfig& config() const { return config_; }
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace nncs

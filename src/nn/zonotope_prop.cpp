@@ -1,0 +1,95 @@
+#include "nn/zonotope_prop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nncs {
+
+ZonotopeBounds zonotope_propagate(const Network& net, const Box& input) {
+  if (input.dim() != net.input_dim()) {
+    throw std::invalid_argument("zonotope_propagate: input dimension mismatch");
+  }
+  NoiseSource source;
+  std::vector<Affine> current;
+  current.reserve(input.dim());
+  for (std::size_t i = 0; i < input.dim(); ++i) {
+    current.push_back(Affine::variable(input[i].lo(), input[i].hi(), source));
+  }
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const Layer& layer = net.layers()[li];
+    const bool is_output = li + 1 == net.num_layers();
+    std::vector<Affine> next;
+    next.reserve(layer.weights.rows());
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      Affine acc{layer.biases[r]};
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        const double w = layer.weights(r, c);
+        if (w != 0.0) {
+          acc += w * current[c];
+        }
+      }
+      next.push_back(is_output ? std::move(acc) : acc.relu(source));
+    }
+    current = std::move(next);
+  }
+
+  ZonotopeBounds result;
+  std::vector<Interval> dims;
+  dims.reserve(current.size());
+  for (const auto& a : current) {
+    dims.push_back(a.range());
+  }
+  result.outputs = std::move(current);
+  result.output_box = Box{std::move(dims)};
+  return result;
+}
+
+std::vector<std::size_t> possible_argmin(const ZonotopeBounds& bounds) {
+  const std::size_t p = bounds.outputs.size();
+  if (p == 0) {
+    throw std::invalid_argument("possible_argmin: empty zonotope bounds");
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t k = 0; k < p; ++k) {
+    bool excluded = false;
+    for (std::size_t j = 0; j < p && !excluded; ++j) {
+      if (j == k) {
+        continue;
+      }
+      // Shared noise symbols cancel in the difference.
+      if ((bounds.outputs[j] - bounds.outputs[k]).range().hi() < 0.0) {
+        excluded = true;
+      }
+    }
+    if (!excluded) {
+      result.push_back(k);
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> possible_argmax(const ZonotopeBounds& bounds) {
+  const std::size_t p = bounds.outputs.size();
+  if (p == 0) {
+    throw std::invalid_argument("possible_argmax: empty zonotope bounds");
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t k = 0; k < p; ++k) {
+    bool excluded = false;
+    for (std::size_t j = 0; j < p && !excluded; ++j) {
+      if (j == k) {
+        continue;
+      }
+      if ((bounds.outputs[j] - bounds.outputs[k]).range().lo() > 0.0) {
+        excluded = true;
+      }
+    }
+    if (!excluded) {
+      result.push_back(k);
+    }
+  }
+  return result;
+}
+
+}  // namespace nncs

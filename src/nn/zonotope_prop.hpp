@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "interval/affine.hpp"
+#include "interval/box.hpp"
+#include "nn/network.hpp"
+
+namespace nncs {
+
+/// Result of the zonotope (affine-arithmetic) network transformer: one
+/// affine form per output neuron, sharing input and ReLU noise symbols, plus
+/// the concretized output box.
+struct ZonotopeBounds {
+  std::vector<Affine> outputs;
+  Box output_box;
+};
+
+/// Affine-arithmetic abstract transformer for ReLU networks — the
+/// "affine arithmetics" alternative the paper names in §6.2 [15]. Affine
+/// layers are exact on the noise symbols (linear correlations survive);
+/// unstable ReLUs use the minimal zonotope relaxation with one fresh noise
+/// symbol each. Complements the two existing domains: typically tighter
+/// than plain intervals and incomparable with the symbolic affine-bound
+/// domain (which keeps per-neuron lower AND upper input-space bounds).
+ZonotopeBounds zonotope_propagate(const Network& net, const Box& input);
+
+/// Sound argmin candidates from zonotope bounds: k is excluded when some
+/// output j is provably smaller on the whole zonotope, i.e. the affine
+/// difference y_j − y_k (shared symbols cancel) has range strictly below 0.
+std::vector<std::size_t> possible_argmin(const ZonotopeBounds& bounds);
+std::vector<std::size_t> possible_argmax(const ZonotopeBounds& bounds);
+
+}  // namespace nncs

@@ -1,0 +1,73 @@
+#include "ode/concrete_integrator.hpp"
+
+#include <stdexcept>
+
+namespace nncs {
+
+namespace {
+
+void eval_concrete(const Dynamics& f, const Vec& s, const Vec& u, Vec& out) {
+  f.eval(std::span<const double>(s), std::span<const double>(u), std::span<double>(out));
+}
+
+}  // namespace
+
+Vec rk4_step(const Dynamics& f, const Vec& s, const Vec& u, double h) {
+  const std::size_t n = s.size();
+  Vec k1(n);
+  Vec k2(n);
+  Vec k3(n);
+  Vec k4(n);
+  Vec tmp(n);
+
+  eval_concrete(f, s, u, k1);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = s[i] + 0.5 * h * k1[i];
+  }
+  eval_concrete(f, tmp, u, k2);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = s[i] + 0.5 * h * k2[i];
+  }
+  eval_concrete(f, tmp, u, k3);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = s[i] + h * k3[i];
+  }
+  eval_concrete(f, tmp, u, k4);
+
+  Vec next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = s[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return next;
+}
+
+Vec rk4_integrate(const Dynamics& f, const Vec& s0, const Vec& u, double duration, int steps) {
+  if (steps < 1) {
+    throw std::invalid_argument("rk4_integrate: steps must be >= 1");
+  }
+  const double h = duration / steps;
+  Vec s = s0;
+  for (int i = 0; i < steps; ++i) {
+    s = rk4_step(f, s, u, h);
+  }
+  return s;
+}
+
+std::vector<Vec> rk4_trajectory(const Dynamics& f, const Vec& s0, const Vec& u, double duration,
+                                int steps) {
+  if (steps < 1) {
+    throw std::invalid_argument("rk4_trajectory: steps must be >= 1");
+  }
+  const double h = duration / steps;
+  std::vector<Vec> traj;
+  traj.reserve(static_cast<std::size_t>(steps) + 1);
+  traj.push_back(s0);
+  Vec s = s0;
+  for (int i = 0; i < steps; ++i) {
+    s = rk4_step(f, s, u, h);
+    traj.push_back(s);
+  }
+  return traj;
+}
+
+}  // namespace nncs

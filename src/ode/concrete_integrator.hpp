@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "interval/box.hpp"
+#include "ode/dynamics.hpp"
+
+namespace nncs {
+
+/// Non-validated, high-accuracy numeric integration (classic RK4).
+///
+/// Used as (a) the concrete closed-loop simulator behind falsification and
+/// (b) the reference oracle in soundness property tests: every concretely
+/// simulated trajectory must stay inside the validated enclosures.
+///
+/// NOT part of the soundness argument — results carry ordinary floating
+/// point error.
+
+/// One RK4 step of size h for s' = f(s, u).
+Vec rk4_step(const Dynamics& f, const Vec& s, const Vec& u, double h);
+
+/// Integrate for `duration` using `steps` equal RK4 steps; returns s(duration).
+Vec rk4_integrate(const Dynamics& f, const Vec& s0, const Vec& u, double duration, int steps);
+
+/// Integrate and record every intermediate state (including s0 and the final
+/// state); `trajectory.size() == steps + 1`.
+std::vector<Vec> rk4_trajectory(const Dynamics& f, const Vec& s0, const Vec& u, double duration,
+                                int steps);
+
+}  // namespace nncs

@@ -1,0 +1,15 @@
+#include "ode/dynamics.hpp"
+
+#include <vector>
+
+namespace nncs {
+
+Box eval_on_box(const Dynamics& f, const Box& s, const Vec& u) {
+  std::vector<Interval> si(s.intervals().begin(), s.intervals().end());
+  std::vector<Interval> ui(u.begin(), u.end());
+  std::vector<Interval> out(f.state_dim());
+  f.eval(si, ui, out);
+  return Box{std::move(out)};
+}
+
+}  // namespace nncs

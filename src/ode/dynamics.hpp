@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "interval/box.hpp"
+#include "interval/scalar_ops.hpp"
+#include "ode/taylor_series.hpp"
+
+namespace nncs {
+
+/// Right-hand side of an autonomous controlled ODE  s' = f(s, u)  where `u`
+/// is the actuation command, constant over each evaluation (the closed-loop
+/// model of §4.2: between two control steps the command is held by the
+/// zero-order hold).
+///
+/// The same vector field must be evaluable over three scalar types:
+///   * `double`       — concrete simulation and falsification,
+///   * `Interval`     — Picard a-priori enclosures,
+///   * `TaylorSeries` — solution Taylor coefficients for the validated step.
+///
+/// Time-dependent systems can be modelled by adding t as an extra state
+/// variable with derivative 1.
+class Dynamics {
+ public:
+  virtual ~Dynamics() = default;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t command_dim() const = 0;
+
+  virtual void eval(std::span<const double> s, std::span<const double> u,
+                    std::span<double> out) const = 0;
+  virtual void eval(std::span<const Interval> s, std::span<const Interval> u,
+                    std::span<Interval> out) const = 0;
+  virtual void eval(std::span<const TaylorSeries> s, std::span<const TaylorSeries> u,
+                    std::span<TaylorSeries> out) const = 0;
+};
+
+/// Adapts a functor templated on the scalar type to the `Dynamics`
+/// interface. `F` must be callable as
+///   f(std::span<const S> s, std::span<const S> u, std::span<S> out)
+/// for S in {double, Interval, TaylorSeries}.
+template <class F>
+class DynamicsModel final : public Dynamics {
+ public:
+  DynamicsModel(std::size_t state_dim, std::size_t command_dim, F f)
+      : state_dim_(state_dim), command_dim_(command_dim), f_(std::move(f)) {}
+
+  [[nodiscard]] std::size_t state_dim() const override { return state_dim_; }
+  [[nodiscard]] std::size_t command_dim() const override { return command_dim_; }
+
+  void eval(std::span<const double> s, std::span<const double> u,
+            std::span<double> out) const override {
+    f_(s, u, out);
+  }
+  void eval(std::span<const Interval> s, std::span<const Interval> u,
+            std::span<Interval> out) const override {
+    f_(s, u, out);
+  }
+  void eval(std::span<const TaylorSeries> s, std::span<const TaylorSeries> u,
+            std::span<TaylorSeries> out) const override {
+    f_(s, u, out);
+  }
+
+ private:
+  std::size_t state_dim_;
+  std::size_t command_dim_;
+  F f_;
+};
+
+template <class F>
+std::unique_ptr<Dynamics> make_dynamics(std::size_t state_dim, std::size_t command_dim, F f) {
+  return std::make_unique<DynamicsModel<F>>(state_dim, command_dim, std::move(f));
+}
+
+/// Evaluate f over an interval box (helper shared by the integrators).
+Box eval_on_box(const Dynamics& f, const Box& s, const Vec& u);
+
+}  // namespace nncs

@@ -1,0 +1,143 @@
+#include "ode/taylor_series.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nncs {
+
+namespace {
+
+void check_same_order(const TaylorSeries& a, const TaylorSeries& b) {
+  if (a.order() != b.order()) {
+    throw std::invalid_argument("TaylorSeries: order mismatch");
+  }
+}
+
+}  // namespace
+
+TaylorSeries::TaylorSeries(std::size_t order) : coeffs_(order + 1, Interval{}) {}
+
+TaylorSeries::TaylorSeries(std::size_t order, const Interval& value)
+    : coeffs_(order + 1, Interval{}) {
+  coeffs_[0] = value;
+}
+
+Interval TaylorSeries::eval(const Interval& t) const { return eval_prefix(t, order()); }
+
+Interval TaylorSeries::eval_prefix(const Interval& t, std::size_t k_max) const {
+  if (coeffs_.empty()) {
+    return Interval{};
+  }
+  const std::size_t last = std::min(k_max, order());
+  Interval acc = coeffs_[last];
+  for (std::size_t k = last; k-- > 0;) {
+    acc = coeffs_[k] + t * acc;
+  }
+  return acc;
+}
+
+TaylorSeries& TaylorSeries::operator+=(const TaylorSeries& rhs) {
+  check_same_order(*this, rhs);
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    coeffs_[k] += rhs.coeffs_[k];
+  }
+  return *this;
+}
+
+TaylorSeries& TaylorSeries::operator-=(const TaylorSeries& rhs) {
+  check_same_order(*this, rhs);
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    coeffs_[k] -= rhs.coeffs_[k];
+  }
+  return *this;
+}
+
+TaylorSeries operator+(const TaylorSeries& a, const TaylorSeries& b) {
+  TaylorSeries r = a;
+  r += b;
+  return r;
+}
+
+TaylorSeries operator-(const TaylorSeries& a, const TaylorSeries& b) {
+  TaylorSeries r = a;
+  r -= b;
+  return r;
+}
+
+TaylorSeries operator-(const TaylorSeries& a) {
+  TaylorSeries r(a.order());
+  for (std::size_t k = 0; k <= a.order(); ++k) {
+    r[k] = -a[k];
+  }
+  return r;
+}
+
+TaylorSeries operator*(const TaylorSeries& a, const TaylorSeries& b) {
+  check_same_order(a, b);
+  TaylorSeries r(a.order());
+  for (std::size_t k = 0; k <= a.order(); ++k) {
+    Interval acc{};
+    for (std::size_t i = 0; i <= k; ++i) {
+      acc += a[i] * b[k - i];
+    }
+    r[k] = acc;
+  }
+  return r;
+}
+
+TaylorSeries operator*(const Interval& k, const TaylorSeries& a) {
+  TaylorSeries r(a.order());
+  for (std::size_t i = 0; i <= a.order(); ++i) {
+    r[i] = k * a[i];
+  }
+  return r;
+}
+
+TaylorSeries operator*(const TaylorSeries& a, const Interval& k) { return k * a; }
+
+TaylorSeries operator+(const TaylorSeries& a, const Interval& k) {
+  TaylorSeries r = a;
+  r[0] += k;
+  return r;
+}
+
+TaylorSeries operator+(const Interval& k, const TaylorSeries& a) { return a + k; }
+
+TaylorSeries operator-(const TaylorSeries& a, const Interval& k) {
+  TaylorSeries r = a;
+  r[0] -= k;
+  return r;
+}
+
+TaylorSeries operator-(const Interval& k, const TaylorSeries& a) { return -a + k; }
+
+std::pair<TaylorSeries, TaylorSeries> sincos(const TaylorSeries& u) {
+  const std::size_t order = u.order();
+  TaylorSeries s(order);
+  TaylorSeries c(order);
+  s[0] = sin(u[0]);
+  c[0] = cos(u[0]);
+  for (std::size_t k = 1; k <= order; ++k) {
+    Interval s_acc{};
+    Interval c_acc{};
+    for (std::size_t j = 1; j <= k; ++j) {
+      const Interval ju = Interval{static_cast<double>(j)} * u[j];
+      s_acc += ju * c[k - j];
+      c_acc += ju * s[k - j];
+    }
+    // 1/k is not exactly representable for all k; divide in interval
+    // arithmetic to stay sound.
+    const Interval k_iv{static_cast<double>(k)};
+    s[k] = s_acc / k_iv;
+    c[k] = -(c_acc / k_iv);
+  }
+  return {std::move(s), std::move(c)};
+}
+
+TaylorSeries sin(const TaylorSeries& u) { return sincos(u).first; }
+
+TaylorSeries cos(const TaylorSeries& u) { return sincos(u).second; }
+
+TaylorSeries sqr(const TaylorSeries& u) { return u * u; }
+
+}  // namespace nncs

@@ -1,0 +1,203 @@
+#include "ode/validated_integrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace nncs {
+
+namespace {
+
+/// img = s0 + [0,h] * f(candidate)  (the interval Picard operator).
+Box picard_image(const Dynamics& f, const Box& s0, const Vec& u, double h, const Box& candidate) {
+  const Interval tau{0.0, h};
+  const Box fc = eval_on_box(f, candidate, u);
+  std::vector<Interval> out;
+  out.reserve(s0.dim());
+  for (std::size_t i = 0; i < s0.dim(); ++i) {
+    out.push_back(s0[i] + tau * fc[i]);
+  }
+  return Box{std::move(out)};
+}
+
+}  // namespace
+
+std::optional<Box> picard_enclosure(const Dynamics& f, const Box& s0, const Vec& u, double h,
+                                    const PicardConfig& config) {
+  if (h <= 0.0 || !std::isfinite(h)) {
+    throw std::invalid_argument("picard_enclosure: step size must be positive and finite");
+  }
+  // First candidate: one application of the operator to s0 itself, inflated.
+  Box candidate = picard_image(f, s0, u, h, s0).inflated(1e-12, config.initial_inflation);
+  double escalation = config.growth;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    const Box image = picard_image(f, s0, u, h, candidate);
+    if (candidate.contains(image)) {
+      // The operator maps `candidate` into itself, so every solution
+      // starting in s0 stays inside `candidate` on [0, h]; the (tighter)
+      // image is itself a valid enclosure.
+      return image;
+    }
+    // Violation-driven inflation: grow each bound past its observed
+    // violation by an escalating factor. Proportional growth converges in a
+    // couple of iterations when h·L < 1 and avoids the knife-edge chase a
+    // magnitude-relative inflation runs into when a dimension crosses zero.
+    std::vector<Interval> grown;
+    grown.reserve(candidate.dim());
+    for (std::size_t d = 0; d < candidate.dim(); ++d) {
+      const double lo_violation = std::max(0.0, candidate[d].lo() - image[d].lo());
+      const double hi_violation = std::max(0.0, image[d].hi() - candidate[d].hi());
+      const double lo = std::min(candidate[d].lo(), image[d].lo()) -
+                        escalation * lo_violation - 1e-12;
+      const double hi = std::max(candidate[d].hi(), image[d].hi()) +
+                        escalation * hi_violation + 1e-12;
+      grown.emplace_back(lo, hi);
+    }
+    candidate = Box{std::move(grown)};
+    escalation *= config.growth;
+  }
+  return std::nullopt;
+}
+
+TaylorIntegrator::TaylorIntegrator() : TaylorIntegrator(Config{}) {}
+
+TaylorIntegrator::TaylorIntegrator(Config config) : config_(std::move(config)) {
+  if (config_.order < 1) {
+    throw std::invalid_argument("TaylorIntegrator: order must be >= 1");
+  }
+}
+
+namespace {
+
+/// Taylor coefficients 0..K of the ODE solution seeded at `seed`:
+/// s_0 = seed, s_{k+1} = (f(s))_k / (k+1)   (Picard/Moore recurrence).
+std::vector<TaylorSeries> solution_coefficients(const Dynamics& f, const Box& seed, const Vec& u,
+                                                std::size_t order) {
+  const std::size_t dim = f.state_dim();
+  std::vector<TaylorSeries> s(dim, TaylorSeries(order));
+  for (std::size_t i = 0; i < dim; ++i) {
+    s[i][0] = seed[i];
+  }
+  std::vector<TaylorSeries> u_series;
+  u_series.reserve(u.size());
+  for (const double uc : u) {
+    u_series.emplace_back(order, Interval{uc});
+  }
+  std::vector<TaylorSeries> fs(dim, TaylorSeries(order));
+  for (std::size_t k = 0; k + 1 <= order; ++k) {
+    f.eval(s, u_series, fs);
+    const Interval divisor{static_cast<double>(k + 1)};
+    for (std::size_t i = 0; i < dim; ++i) {
+      s[i][k + 1] = fs[i][k] / divisor;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<ValidatedStep> TaylorIntegrator::step(const Dynamics& f, const Box& s0, const Vec& u,
+                                                    double h) const {
+  const auto apriori = picard_enclosure(f, s0, u, h, config_.picard);
+  if (!apriori) {
+    return std::nullopt;
+  }
+  const Box& b = *apriori;
+  const std::size_t order = static_cast<std::size_t>(config_.order);
+  // Prefix coefficients seeded at the tight initial box; the order-K
+  // coefficient seeded at the a-priori enclosure bounds the Lagrange
+  // remainder (the K-th solution coefficient along the whole step stays
+  // inside the coefficient computed over B).
+  const auto prefix = solution_coefficients(f, s0, u, order);
+  const auto remainder = solution_coefficients(f, b, u, order);
+
+  const std::size_t dim = f.state_dim();
+  const Interval t_end{h};
+  const Interval t_flow{0.0, h};
+  std::vector<Interval> end_dims;
+  std::vector<Interval> flow_dims;
+  end_dims.reserve(dim);
+  flow_dims.reserve(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const Interval rem = remainder[i][order];
+    Interval end_i = prefix[i].eval_prefix(t_end, order - 1) + rem * pow(t_end, config_.order);
+    Interval flow_i = prefix[i].eval_prefix(t_flow, order - 1) + rem * pow(t_flow, config_.order);
+    // Both the Taylor form and the a-priori enclosure are sound, so their
+    // intersection is too (and is never empty: both contain the true set).
+    if (auto tight = intersect(flow_i, b[i])) {
+      flow_i = *tight;
+    }
+    if (auto tight = intersect(end_i, flow_i)) {
+      end_i = *tight;
+    }
+    end_dims.push_back(end_i);
+    flow_dims.push_back(flow_i);
+  }
+  return ValidatedStep{Box{std::move(flow_dims)}, Box{std::move(end_dims)}};
+}
+
+EulerIntegrator::EulerIntegrator(PicardConfig config) : config_(std::move(config)) {}
+
+std::optional<ValidatedStep> EulerIntegrator::step(const Dynamics& f, const Box& s0, const Vec& u,
+                                                   double h) const {
+  const auto apriori = picard_enclosure(f, s0, u, h, config_);
+  if (!apriori) {
+    return std::nullopt;
+  }
+  const Box& b = *apriori;
+  const Box fb = eval_on_box(f, b, u);
+  const Interval t_end{h};
+  std::vector<Interval> end_dims;
+  end_dims.reserve(s0.dim());
+  for (std::size_t i = 0; i < s0.dim(); ++i) {
+    Interval end_i = s0[i] + t_end * fb[i];
+    if (auto tight = intersect(end_i, b[i])) {
+      end_i = *tight;
+    }
+    end_dims.push_back(end_i);
+  }
+  return ValidatedStep{b, Box{std::move(end_dims)}};
+}
+
+Box Flowpipe::hull_box() const {
+  if (segments.empty()) {
+    return end;
+  }
+  Box acc = segments.front();
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    acc = hull(acc, segments[i]);
+  }
+  return acc;
+}
+
+Flowpipe simulate(const Dynamics& f, const ValidatedIntegrator& integrator, const Box& s0,
+                  const Vec& u, double period, int steps) {
+  if (steps < 1 || period <= 0.0) {
+    throw std::invalid_argument("simulate: need steps >= 1 and period > 0");
+  }
+  Flowpipe pipe;
+  pipe.segments.reserve(static_cast<std::size_t>(steps));
+  Box current = s0;
+  // Sub-step boundaries are period*i/steps; consecutive differences are used
+  // as step sizes so the durations telescope to `period` up to sub-ulp
+  // slack (absorbed into the plant model; see DESIGN.md).
+  double t_prev = 0.0;
+  for (int i = 1; i <= steps; ++i) {
+    const double t_next = i == steps ? period : period * static_cast<double>(i) / steps;
+    const double h = t_next - t_prev;
+    const auto step = integrator.step(f, current, u, h);
+    if (!step) {
+      pipe.ok = false;
+      pipe.end = current;
+      return pipe;
+    }
+    pipe.segments.push_back(step->flow);
+    current = step->end;
+    t_prev = t_next;
+  }
+  pipe.end = current;
+  return pipe;
+}
+
+}  // namespace nncs

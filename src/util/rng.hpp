@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nncs {
+
+/// Deterministic, seedable random number generator used everywhere in the
+/// library (training, sampling-based property tests, falsification).
+///
+/// All randomness in `nncsverif` flows through explicitly-seeded `Rng`
+/// instances so that every experiment is reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi].
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal sample scaled by `stddev`.
+  double normal(double stddev = 1.0) {
+    std::normal_distribution<double> dist(0.0, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nncs

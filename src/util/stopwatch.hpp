@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace nncs {
+
+/// Monotonic wall-clock stopwatch with seconds/milliseconds accessors.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart timing from now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nncs

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nncs {
+
+/// Fixed-size worker pool used to run independent verification problems in
+/// parallel (the paper's §7.1 observes the per-cell analyses are
+/// embarrassingly parallel).
+///
+/// Tasks may themselves `submit()` more tasks (split refinement schedules the
+/// child cells as new work items). `wait_idle()` blocks until the queue is
+/// empty *and* every worker is idle, which is the join point the verifier
+/// uses.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueue a task. Thread-safe; may be called from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks (including recursively submitted ones)
+  /// have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nncs

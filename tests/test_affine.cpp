@@ -1,0 +1,165 @@
+// Tests for the affine-arithmetic scalar: exact cancellation of shared
+// noise symbols, sound ranges, multiplication error bounding, the ReLU
+// relaxation, and random containment properties via noise valuations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interval/affine.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+TEST(Affine, ConstantHasNoDeviation) {
+  const Affine c = 3.5;
+  EXPECT_DOUBLE_EQ(c.center(), 3.5);
+  EXPECT_LT(c.radius(), 1e-12);
+  EXPECT_TRUE(c.range().contains(3.5));
+}
+
+TEST(Affine, VariableRangeMatchesBounds) {
+  NoiseSource src;
+  const Affine x = Affine::variable(1.0, 3.0, src);
+  EXPECT_DOUBLE_EQ(x.center(), 2.0);
+  const Interval r = x.range();
+  EXPECT_LE(r.lo(), 1.0);
+  EXPECT_GE(r.hi(), 3.0);
+  EXPECT_LT(r.width(), 2.0 + 1e-9);
+  EXPECT_THROW(Affine::variable(3.0, 1.0, src), std::invalid_argument);
+}
+
+TEST(Affine, SharedSymbolsCancelExactly) {
+  // x - x must be (nearly) zero — the defining advantage over intervals,
+  // where [1,3] - [1,3] = [-2,2].
+  NoiseSource src;
+  const Affine x = Affine::variable(1.0, 3.0, src);
+  const Affine d = x - x;
+  EXPECT_LT(d.radius(), 1e-9);
+  EXPECT_TRUE(d.range().contains(0.0));
+}
+
+TEST(Affine, IndependentSymbolsDoNotCancel) {
+  NoiseSource src;
+  const Affine x = Affine::variable(1.0, 3.0, src);
+  const Affine y = Affine::variable(1.0, 3.0, src);
+  const Interval d = (x - y).range();
+  EXPECT_LE(d.lo(), -2.0 + 1e-9);
+  EXPECT_GE(d.hi(), 2.0 - 1e-9);
+}
+
+TEST(Affine, AdditionIsExactOnSymbols) {
+  NoiseSource src;
+  const Affine x = Affine::variable(0.0, 2.0, src);
+  const Affine s = x + x + 1.0;
+  // 2x + 1 over [0,2]: range [1, 5].
+  EXPECT_LE(s.range().lo(), 1.0 + 1e-9);
+  EXPECT_GE(s.range().hi(), 5.0 - 1e-9);
+  EXPECT_LT(s.range().width(), 4.0 + 1e-6);
+}
+
+TEST(Affine, ScalingIsExact) {
+  NoiseSource src;
+  const Affine x = Affine::variable(-1.0, 1.0, src);
+  const Affine y = -3.0 * x;
+  EXPECT_LE(y.range().lo(), -3.0 + 1e-9);
+  EXPECT_GE(y.range().hi(), 3.0 - 1e-9);
+  EXPECT_LT(y.range().width(), 6.0 + 1e-6);
+}
+
+TEST(Affine, MultiplicationBoundsQuadraticTerm) {
+  NoiseSource src;
+  const Affine x = Affine::variable(-1.0, 1.0, src);
+  const Affine sq = x * x;
+  // True range of x^2 is [0,1]; zonotope multiplication yields center 0
+  // radius <= 1, i.e. [-1, 1] — sound, though not tight.
+  EXPECT_LE(sq.range().lo(), 0.0);
+  EXPECT_GE(sq.range().hi(), 1.0 - 1e-9);
+  for (double v = -1.0; v <= 1.0; v += 0.1) {
+    EXPECT_TRUE(sq.range().contains(v * v));
+  }
+}
+
+TEST(Affine, ReluStableCases) {
+  NoiseSource src;
+  const Affine pos = Affine::variable(1.0, 2.0, src);
+  const Affine keep = pos.relu(src);
+  EXPECT_NEAR(keep.center(), pos.center(), 1e-12);
+  const Affine neg = Affine::variable(-2.0, -1.0, src);
+  const Affine zero = neg.relu(src);
+  EXPECT_DOUBLE_EQ(zero.center(), 0.0);
+  EXPECT_LT(zero.radius(), 1e-12);
+}
+
+TEST(Affine, ReluUnstableIsSoundAndAddsOneSymbol) {
+  NoiseSource src;
+  const Affine x = Affine::variable(-1.0, 1.0, src);
+  const std::uint32_t before = src.count();
+  const Affine y = x.relu(src);
+  EXPECT_EQ(src.count(), before + 1);
+  for (double v = -1.0; v <= 1.0; v += 0.05) {
+    // For each input value there must exist a valuation of the fresh
+    // symbol making y = relu(v): check via the range of y restricted to
+    // epsilon_0 = v (the input symbol) — conservatively, just check the
+    // overall range covers relu(v).
+    EXPECT_TRUE(y.range().contains(std::max(0.0, v)));
+  }
+  // The relaxation must not report negative lower bounds beyond -mu/2 slack.
+  EXPECT_GE(y.range().lo(), -0.51);
+}
+
+TEST(Affine, EvaluateAtNoiseValuation) {
+  NoiseSource src;
+  const Affine x = Affine::variable(0.0, 2.0, src);  // symbol 0, center 1, rad 1
+  const Affine expr = 2.0 * x + 1.0;
+  EXPECT_TRUE(expr.evaluate({0.0}).contains(3.0));
+  EXPECT_TRUE(expr.evaluate({1.0}).contains(5.0));
+  EXPECT_TRUE(expr.evaluate({-1.0}).contains(1.0));
+}
+
+// Property: random affine expressions over shared variables enclose the
+// concrete evaluation at sampled noise valuations.
+TEST(AffineProperty, RandomExpressionContainment) {
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    NoiseSource src;
+    const double lo0 = rng.uniform(-3.0, 0.0);
+    const double hi0 = lo0 + rng.uniform(0.1, 2.0);
+    const double lo1 = rng.uniform(-1.0, 2.0);
+    const double hi1 = lo1 + rng.uniform(0.1, 2.0);
+    const Affine x = Affine::variable(lo0, hi0, src);
+    const Affine y = Affine::variable(lo1, hi1, src);
+    const Affine expr = (x + y) * (x - 2.0 * y) + 0.5 * x - 1.0;
+    for (int s = 0; s < 20; ++s) {
+      const double e0 = rng.uniform(-1.0, 1.0);
+      const double e1 = rng.uniform(-1.0, 1.0);
+      const double vx = x.center() + (hi0 - lo0) / 2.0 * e0;
+      const double vy = y.center() + (hi1 - lo1) / 2.0 * e1;
+      const double truth = (vx + vy) * (vx - 2.0 * vy) + 0.5 * vx - 1.0;
+      ASSERT_TRUE(expr.range().contains(truth))
+          << truth << " not in " << expr.range().str();
+    }
+  }
+}
+
+// Property: affine ranges are never wider than interval arithmetic on
+// expressions dominated by linear correlation.
+TEST(AffineProperty, TighterThanIntervalsOnCorrelatedSums) {
+  Rng rng(778);
+  for (int trial = 0; trial < 100; ++trial) {
+    NoiseSource src;
+    const double lo = rng.uniform(-2.0, 0.0);
+    const double hi = lo + rng.uniform(0.5, 2.0);
+    const Affine x = Affine::variable(lo, hi, src);
+    // 5x - 4x - x = 0 exactly in affine arithmetic.
+    const Affine zero = 5.0 * x - 4.0 * x - x;
+    EXPECT_LT(zero.radius(), 1e-9);
+    const Interval ix(lo, hi);
+    const Interval interval_version = Interval{5.0} * ix - Interval{4.0} * ix - ix;
+    EXPECT_GT(interval_version.width(), 1.0);  // intervals blow up
+  }
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,143 @@
+// Tests for interval boxes: construction, set predicates, splitting,
+// hull/intersection, and the Def 9 center distance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interval/box.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+Box unit_square() { return Box{Interval{0.0, 1.0}, Interval{0.0, 1.0}}; }
+
+TEST(Box, ConstructionVariants) {
+  const Box filled(3, Interval{1.0, 2.0});
+  EXPECT_EQ(filled.dim(), 3u);
+  EXPECT_EQ(filled[2].lo(), 1.0);
+
+  const Box pt = Box::from_point({1.0, 2.0, 3.0});
+  EXPECT_TRUE(pt[1].is_degenerate());
+  EXPECT_EQ(pt[2].lo(), 3.0);
+
+  const Box corners = Box::from_corners({1.0, 5.0}, {3.0, 2.0});
+  EXPECT_EQ(corners[0].lo(), 1.0);
+  EXPECT_EQ(corners[0].hi(), 3.0);
+  EXPECT_EQ(corners[1].lo(), 2.0);
+  EXPECT_EQ(corners[1].hi(), 5.0);
+  EXPECT_THROW(Box::from_corners({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Box, MidpointAndWidths) {
+  const Box b{Interval{0.0, 2.0}, Interval{-1.0, 1.0}};
+  const Vec mid = b.midpoint();
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[1], 0.0);
+  EXPECT_GE(b.widths()[0], 2.0);
+  EXPECT_GE(b.max_width(), 2.0);
+}
+
+TEST(Box, WidestDim) {
+  const Box b{Interval{0.0, 1.0}, Interval{0.0, 5.0}, Interval{0.0, 2.0}};
+  EXPECT_EQ(b.widest_dim(), 1u);
+}
+
+TEST(Box, VolumeIsProductOfWidths) {
+  const Box b{Interval{0.0, 2.0}, Interval{0.0, 3.0}};
+  EXPECT_NEAR(b.volume(), 6.0, 1e-12);
+}
+
+TEST(Box, ContainsPointAndBox) {
+  const Box b = unit_square();
+  EXPECT_TRUE(b.contains(Vec{0.5, 0.5}));
+  EXPECT_TRUE(b.contains(Vec{0.0, 1.0}));
+  EXPECT_FALSE(b.contains(Vec{1.5, 0.5}));
+  EXPECT_FALSE(b.contains(Vec{0.5}));  // dimension mismatch
+  EXPECT_TRUE(b.contains(Box{Interval{0.1, 0.9}, Interval{0.1, 0.9}}));
+  EXPECT_FALSE(b.contains(Box{Interval{0.1, 1.1}, Interval{0.1, 0.9}}));
+}
+
+TEST(Box, IntersectsIsSymmetric) {
+  const Box a = unit_square();
+  const Box b{Interval{0.9, 2.0}, Interval{0.9, 2.0}};
+  const Box c{Interval{1.1, 2.0}, Interval{0.0, 1.0}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Box, HullAndIntersect) {
+  const Box a = unit_square();
+  const Box b{Interval{2.0, 3.0}, Interval{-1.0, 0.5}};
+  const Box h = hull(a, b);
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(b));
+  EXPECT_EQ(h[0].hi(), 3.0);
+
+  const auto meet = intersect(a, Box{Interval{0.5, 2.0}, Interval{0.5, 2.0}});
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_EQ((*meet)[0].lo(), 0.5);
+  EXPECT_EQ((*meet)[0].hi(), 1.0);
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Box, BisectSplitsAtMidpoint) {
+  const auto [lower, upper] = unit_square().bisect(0);
+  EXPECT_DOUBLE_EQ(lower[0].hi(), 0.5);
+  EXPECT_DOUBLE_EQ(upper[0].lo(), 0.5);
+  EXPECT_EQ(lower[1], upper[1]);
+  EXPECT_THROW(unit_square().bisect(7), std::out_of_range);
+}
+
+TEST(Box, SplitProducesCoveringPartition) {
+  const Box b{Interval{0.0, 1.0}, Interval{0.0, 1.0}, Interval{0.0, 1.0}};
+  const auto parts = b.split({0, 2});
+  EXPECT_EQ(parts.size(), 4u);
+  // Every random point of b lies in at least one part.
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const Vec p{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    bool covered = false;
+    for (const auto& part : parts) {
+      covered = covered || part.contains(p);
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(Box, SplitEmptyDimListIsIdentity) {
+  const auto parts = unit_square().split({});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], unit_square());
+}
+
+TEST(Box, CenterDistanceIsEuclidean) {
+  const Box a{Interval{0.0, 2.0}, Interval{0.0, 2.0}};    // center (1,1)
+  const Box b{Interval{3.0, 5.0}, Interval{4.0, 6.0}};    // center (4,5)
+  EXPECT_NEAR(a.center_distance(b), 5.0, 1e-12);
+  EXPECT_THROW(a.center_distance(Box{Interval{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Box, InflatedGrowsEveryDimension) {
+  const Box b = unit_square().inflated(0.1, 0.0);
+  EXPECT_LE(b[0].lo(), -0.1);
+  EXPECT_GE(b[1].hi(), 1.1);
+  const Box r = Box{Interval{10.0, 10.0}}.inflated(0.0, 0.1);
+  EXPECT_LE(r[0].lo(), 9.0);
+  EXPECT_GE(r[0].hi(), 11.0);
+}
+
+TEST(Box, ContainsInInteriorStrict) {
+  const Box b = unit_square();
+  EXPECT_FALSE(b.contains_in_interior(b));
+  EXPECT_TRUE(b.contains_in_interior(Box{Interval{0.1, 0.9}, Interval{0.1, 0.9}}));
+}
+
+TEST(Box, StreamOutput) {
+  EXPECT_EQ((Box{Interval{0.0, 1.0}}).str(), "{[0, 1]}");
+}
+
+}  // namespace
+}  // namespace nncs

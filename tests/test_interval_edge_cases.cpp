@@ -1,0 +1,149 @@
+// Edge-case torture tests for the interval substrate: infinities,
+// denormals, huge magnitudes, degenerate intervals and the exact-identity
+// shortcuts — the regimes where naive rounding code breaks soundness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "interval/interval.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTiny = std::numeric_limits<double>::denorm_min();
+constexpr double kMax = std::numeric_limits<double>::max();
+
+TEST(IntervalEdge, ArithmeticWithInfiniteBounds) {
+  const Interval half_line(0.0, kInf);
+  const Interval sum = half_line + Interval(1.0, 2.0);
+  EXPECT_EQ(sum.hi(), kInf);
+  EXPECT_LE(sum.lo(), 1.0);
+  const Interval diff = Interval(0.0, 1.0) - half_line;
+  EXPECT_EQ(diff.lo(), -kInf);
+}
+
+TEST(IntervalEdge, EntireTimesFiniteStaysSound) {
+  const Interval product = Interval::entire() * Interval(2.0, 3.0);
+  EXPECT_EQ(product.lo(), -kInf);
+  EXPECT_EQ(product.hi(), kInf);
+}
+
+TEST(IntervalEdge, ZeroTimesEntireIsHandled) {
+  // The 0 * inf corner is NaN in raw IEEE; the interval convention maps it
+  // to 0 (a zero factor annihilates).
+  const Interval z = Interval{0.0} * Interval::entire();
+  EXPECT_TRUE(z.is_finite());
+  EXPECT_TRUE(z.contains(0.0));
+}
+
+TEST(IntervalEdge, DenormalWidths) {
+  const Interval tiny(0.0, kTiny);
+  EXPECT_GE(tiny.width(), kTiny);
+  const Interval sum = tiny + tiny;
+  EXPECT_TRUE(sum.contains(2.0 * kTiny));
+  EXPECT_TRUE(sqr(tiny).contains(0.0));  // underflows to 0, lower bound holds
+}
+
+TEST(IntervalEdge, HugeMagnitudesDoNotOverflowSilently) {
+  const Interval big(kMax / 2.0, kMax);
+  const Interval doubled = big + big;
+  EXPECT_EQ(doubled.hi(), kInf);  // overflow becomes +inf: sound
+  EXPECT_TRUE(doubled.contains(kMax));
+}
+
+TEST(IntervalEdge, ExactIdentityShortcuts) {
+  const Interval x(0.3, 0.7);
+  // *1 and *0 must be exact (no 1-ulp widening) — pow/NN code relies on it.
+  EXPECT_EQ(x * Interval{1.0}, x);
+  EXPECT_EQ(Interval{1.0} * x, x);
+  const Interval z = x * Interval{0.0};
+  EXPECT_EQ(z.lo(), 0.0);
+  EXPECT_EQ(z.hi(), 0.0);
+}
+
+TEST(IntervalEdge, DegenerateArithmeticStaysNearlyDegenerate) {
+  const Interval p(0.1);
+  const Interval q = p + p - p;
+  EXPECT_TRUE(q.contains(0.1));
+  EXPECT_LT(q.width(), 1e-15);
+}
+
+TEST(IntervalEdge, NextafterDirectionAtZero) {
+  // Crossing zero must widen in the right direction.
+  const Interval a(-kTiny, kTiny);
+  const Interval b = a + Interval{0.0};
+  EXPECT_LE(b.lo(), -kTiny);
+  EXPECT_GE(b.hi(), kTiny);
+}
+
+TEST(IntervalEdge, SqrtOfDegenerateZero) {
+  const Interval r = sqrt(Interval{0.0});
+  EXPECT_EQ(r.lo(), 0.0);
+  EXPECT_GE(r.hi(), 0.0);
+  EXPECT_LT(r.hi(), 1e-300);
+}
+
+TEST(IntervalEdge, TrigAtExactMultiplesOfPi) {
+  // sin near 0/pi and cos near pi/2: values are ~1e-16; enclosures must
+  // contain the true 0 crossing direction conservatively.
+  EXPECT_TRUE(sin(Interval{0.0}).contains(0.0));
+  const double pi = std::numbers::pi;
+  EXPECT_TRUE(sin(Interval{pi}).contains(std::sin(pi)));
+  EXPECT_TRUE(cos(Interval{pi / 2.0}).contains(std::cos(pi / 2.0)));
+}
+
+TEST(IntervalEdge, HullAndIntersectWithInfinities) {
+  const Interval h = hull(Interval(0.0, kInf), Interval(-kInf, -1.0));
+  EXPECT_EQ(h.lo(), -kInf);
+  EXPECT_EQ(h.hi(), kInf);
+  const auto meet = intersect(Interval(0.0, kInf), Interval(-kInf, 5.0));
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_EQ(meet->lo(), 0.0);
+  EXPECT_EQ(meet->hi(), 5.0);
+}
+
+TEST(IntervalEdge, MagAndRadWithInfinity) {
+  const Interval x(-kInf, 3.0);
+  EXPECT_EQ(x.mag(), kInf);
+  EXPECT_EQ(x.width(), kInf);
+}
+
+// Property: repeated accumulation keeps containment despite million-fold
+// rounding (the drift must be outward only).
+TEST(IntervalEdgeProperty, LongAccumulationStaysSound) {
+  Rng rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    Interval acc{0.0};
+    double truth = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      acc += Interval{v};
+      truth += v;
+    }
+    ASSERT_TRUE(acc.contains(truth));
+    // And the widening stays tame (~1e5 ulps of the running magnitude).
+    ASSERT_LT(acc.width(), 1e-8);
+  }
+}
+
+// Property: interval multiplication chain containment under random signs.
+TEST(IntervalEdgeProperty, ProductChainContainment) {
+  Rng rng(405);
+  for (int trial = 0; trial < 100; ++trial) {
+    Interval acc{1.0};
+    double truth = 1.0;
+    for (int i = 0; i < 30; ++i) {
+      const double v = rng.uniform(-1.5, 1.5);
+      acc = acc * Interval{v};
+      truth *= v;
+    }
+    ASSERT_TRUE(acc.contains(truth));
+  }
+}
+
+}  // namespace
+}  // namespace nncs

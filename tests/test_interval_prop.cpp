@@ -1,0 +1,125 @@
+// Tests for the rigorous interval abstract transformer of ReLU networks:
+// exactness on simple cases and the containment property on random
+// networks and boxes.
+
+#include <gtest/gtest.h>
+
+#include "nn/interval_prop.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+Network random_network(std::uint64_t seed, std::vector<std::size_t> sizes) {
+  Rng rng(seed);
+  Network net = make_zero_network(sizes);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (double& w : net.layer(li).weights.data()) {
+      w = rng.uniform(-1.5, 1.5);
+    }
+    for (double& b : net.layer(li).biases) {
+      b = rng.uniform(-0.5, 0.5);
+    }
+  }
+  return net;
+}
+
+TEST(IntervalProp, SingleAffineLayerIsTight) {
+  // y = 2x0 - x1 + 1 over x0 in [0,1], x1 in [0,2]: y in [-1, 3].
+  Network net = make_zero_network({2, 1});
+  net.layer(0).weights(0, 0) = 2.0;
+  net.layer(0).weights(0, 1) = -1.0;
+  net.layer(0).biases[0] = 1.0;
+  const Box out = interval_propagate(net, Box{Interval{0.0, 1.0}, Interval{0.0, 2.0}});
+  EXPECT_NEAR(out[0].lo(), -1.0, 1e-12);
+  EXPECT_NEAR(out[0].hi(), 3.0, 1e-12);
+}
+
+TEST(IntervalProp, ReluClampsHiddenBounds) {
+  // hidden = relu(x), output = hidden: input [-2, 1] -> output [0, 1].
+  Network net = make_zero_network({1, 1, 1});
+  net.layer(0).weights(0, 0) = 1.0;
+  net.layer(1).weights(0, 0) = 1.0;
+  const Box out = interval_propagate(net, Box{Interval{-2.0, 1.0}});
+  EXPECT_NEAR(out[0].lo(), 0.0, 1e-12);
+  EXPECT_NEAR(out[0].hi(), 1.0, 1e-12);
+}
+
+TEST(IntervalProp, OutputLayerNotClamped) {
+  Network net = make_zero_network({1, 1});
+  net.layer(0).weights(0, 0) = 1.0;
+  net.layer(0).biases[0] = -5.0;
+  const Box out = interval_propagate(net, Box{Interval{0.0, 1.0}});
+  EXPECT_LE(out[0].lo(), -5.0);
+}
+
+TEST(IntervalProp, DegenerateBoxMatchesConcreteEval) {
+  const Network net = random_network(1, {3, 8, 8, 2});
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Vec x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const Box out = interval_propagate(net, Box::from_point(x));
+    const Vec y = net.eval(x);
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      EXPECT_TRUE(out[j].contains(y[j]));
+      EXPECT_LT(out[j].width(), 1e-9);  // degenerate input -> ~degenerate output
+    }
+  }
+}
+
+TEST(IntervalProp, RejectsDimensionMismatch) {
+  const Network net = random_network(1, {3, 4, 2});
+  EXPECT_THROW(interval_propagate(net, Box{Interval{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(IntervalProp, TraceRecordsPreactivationsPerLayer) {
+  const Network net = random_network(3, {2, 5, 4, 3});
+  const auto trace = interval_propagate_trace(net, Box(2, Interval{-1.0, 1.0}));
+  ASSERT_EQ(trace.preactivations.size(), 3u);
+  EXPECT_EQ(trace.preactivations[0].dim(), 5u);
+  EXPECT_EQ(trace.preactivations[1].dim(), 4u);
+  EXPECT_EQ(trace.preactivations[2].dim(), 3u);
+  EXPECT_EQ(trace.output.dim(), 3u);
+}
+
+// Property sweep: for random networks of several shapes, the interval output
+// encloses the concrete output of every sampled input in the box.
+class IntervalPropContainment
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(IntervalPropContainment, RandomBoxesContainSampledOutputs) {
+  const auto sizes = GetParam();
+  Rng rng(77);
+  for (int net_trial = 0; net_trial < 5; ++net_trial) {
+    const Network net = random_network(100 + net_trial, sizes);
+    for (int box_trial = 0; box_trial < 10; ++box_trial) {
+      std::vector<Interval> dims;
+      for (std::size_t d = 0; d < sizes.front(); ++d) {
+        const double lo = rng.uniform(-2.0, 2.0);
+        dims.emplace_back(lo, lo + rng.uniform(0.0, 1.0));
+      }
+      const Box input{dims};
+      const Box output = interval_propagate(net, input);
+      for (int s = 0; s < 20; ++s) {
+        Vec x(sizes.front());
+        for (std::size_t d = 0; d < x.size(); ++d) {
+          x[d] = rng.uniform(input[d].lo(), input[d].hi());
+        }
+        const Vec y = net.eval(x);
+        for (std::size_t j = 0; j < y.size(); ++j) {
+          ASSERT_TRUE(output[j].contains(y[j]))
+              << "output " << j << " = " << y[j] << " not in " << output[j].str();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IntervalPropContainment,
+                         ::testing::Values(std::vector<std::size_t>{1, 4, 1},
+                                           std::vector<std::size_t>{2, 8, 8, 2},
+                                           std::vector<std::size_t>{3, 16, 16, 16, 5},
+                                           std::vector<std::size_t>{5, 32, 32, 5}));
+
+}  // namespace
+}  // namespace nncs

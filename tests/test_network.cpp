@@ -1,0 +1,102 @@
+// Tests for the ReLU network representation and concrete forward pass,
+// including the paper's Fig 4 worked example.
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+
+namespace nncs {
+namespace {
+
+/// The tiny network of paper Fig 4: N = (3, {2, 2, 1}, W, B).
+Network fig4_network() {
+  Layer hidden{Matrix(2, 2), Vec{5.0, 6.0}};
+  hidden.weights(0, 0) = -1.0;
+  hidden.weights(0, 1) = 4.0;
+  hidden.weights(1, 0) = 3.0;
+  hidden.weights(1, 1) = -8.0;
+  Layer output{Matrix(1, 2), Vec{2.0}};
+  output.weights(0, 0) = -0.5;
+  output.weights(0, 1) = 1.0;
+  return Network{{hidden, output}};
+}
+
+TEST(Network, Fig4WorkedExample) {
+  const Network net = fig4_network();
+  const Vec y = net.eval(Vec{1.0, 2.0});
+  ASSERT_EQ(y.size(), 1u);
+  // Paper: hidden = (sigma(12), sigma(-11)) = (12, 0); output = -4.
+  EXPECT_DOUBLE_EQ(y[0], -4.0);
+}
+
+TEST(Network, Fig4LayerSizes) {
+  const Network net = fig4_network();
+  EXPECT_EQ(net.input_dim(), 2u);
+  EXPECT_EQ(net.output_dim(), 1u);
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_EQ(net.layer_sizes(), (std::vector<std::size_t>{2, 2, 1}));
+  EXPECT_EQ(net.num_parameters(), 4u + 2u + 2u + 1u);
+}
+
+TEST(Network, OutputLayerIsAffineNotRectified) {
+  // Single affine layer producing a negative value: must not be clamped.
+  Layer only{Matrix(1, 1), Vec{-3.0}};
+  only.weights(0, 0) = 1.0;
+  const Network net{{only}};
+  EXPECT_DOUBLE_EQ(net.eval(Vec{1.0})[0], -2.0);
+}
+
+TEST(Network, HiddenLayerIsRectified) {
+  Layer hidden{Matrix(1, 1), Vec{0.0}};
+  hidden.weights(0, 0) = 1.0;
+  Layer output{Matrix(1, 1), Vec{0.0}};
+  output.weights(0, 0) = 1.0;
+  const Network net{{hidden, output}};
+  EXPECT_DOUBLE_EQ(net.eval(Vec{-5.0})[0], 0.0);  // relu kills the negative
+  EXPECT_DOUBLE_EQ(net.eval(Vec{5.0})[0], 5.0);
+}
+
+TEST(Network, ValidationRejectsBadShapes) {
+  // bias size mismatch
+  EXPECT_THROW(Network({Layer{Matrix(2, 2), Vec{1.0}}}), std::invalid_argument);
+  // chained dimension mismatch
+  EXPECT_THROW(Network({Layer{Matrix(2, 2), Vec(2, 0.0)}, Layer{Matrix(1, 3), Vec(1, 0.0)}}),
+               std::invalid_argument);
+  // empty network
+  EXPECT_THROW(Network(std::vector<Layer>{}), std::invalid_argument);
+}
+
+TEST(Network, EvalRejectsWrongInputDim) {
+  const Network net = fig4_network();
+  EXPECT_THROW(net.eval(Vec{1.0}), std::invalid_argument);
+  EXPECT_THROW(net.eval_trace(Vec{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Network, TraceRecordsAllActivations) {
+  const Network net = fig4_network();
+  const auto trace = net.eval_trace(Vec{1.0, 2.0});
+  ASSERT_EQ(trace.activations.size(), 3u);
+  ASSERT_EQ(trace.preactivations.size(), 2u);
+  EXPECT_EQ(trace.activations[0], (Vec{1.0, 2.0}));
+  EXPECT_EQ(trace.preactivations[0], (Vec{12.0, -7.0}));
+  EXPECT_EQ(trace.activations[1], (Vec{12.0, 0.0}));
+  EXPECT_EQ(trace.activations[2], (Vec{-4.0}));
+}
+
+TEST(Network, MakeZeroNetwork) {
+  const Network net = make_zero_network({3, 5, 2});
+  EXPECT_EQ(net.input_dim(), 3u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  EXPECT_EQ(net.eval(Vec{1.0, 2.0, 3.0}), (Vec{0.0, 0.0}));
+  EXPECT_THROW(make_zero_network({3}), std::invalid_argument);
+}
+
+TEST(Network, MutableLayerAccess) {
+  Network net = make_zero_network({1, 1});
+  net.layer(0).weights(0, 0) = 2.0;
+  net.layer(0).biases[0] = 1.0;
+  EXPECT_DOUBLE_EQ(net.eval(Vec{3.0})[0], 7.0);
+}
+
+}  // namespace
+}  // namespace nncs

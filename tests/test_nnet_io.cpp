@@ -1,0 +1,100 @@
+// Round-trip and error-handling tests for the network text serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "nn/nnet_io.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+Network random_network(std::uint64_t seed) {
+  Rng rng(seed);
+  Network net = make_zero_network({3, 7, 5, 2});
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (double& w : net.layer(li).weights.data()) {
+      w = rng.uniform(-2.0, 2.0);
+    }
+    for (double& b : net.layer(li).biases) {
+      b = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return net;
+}
+
+TEST(NnetIo, RoundTripIsBitExact) {
+  const Network original = random_network(5);
+  std::stringstream buffer;
+  save_network(original, buffer);
+  const Network loaded = load_network(buffer);
+  ASSERT_EQ(loaded.num_layers(), original.num_layers());
+  for (std::size_t li = 0; li < original.num_layers(); ++li) {
+    EXPECT_EQ(loaded.layers()[li].weights, original.layers()[li].weights);
+    EXPECT_EQ(loaded.layers()[li].biases, original.layers()[li].biases);
+  }
+}
+
+TEST(NnetIo, RoundTripPreservesEvaluation) {
+  const Network original = random_network(6);
+  std::stringstream buffer;
+  save_network(original, buffer);
+  const Network loaded = load_network(buffer);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Vec x{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    EXPECT_EQ(original.eval(x), loaded.eval(x));
+  }
+}
+
+TEST(NnetIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "nncs_test_net.nnet";
+  const Network original = random_network(8);
+  save_network(original, path);
+  const Network loaded = load_network(path);
+  EXPECT_EQ(loaded.layer_sizes(), original.layer_sizes());
+  std::filesystem::remove(path);
+}
+
+TEST(NnetIo, MissingFileThrows) {
+  EXPECT_THROW(load_network(std::filesystem::path{"/nonexistent/net.nnet"}), std::runtime_error);
+}
+
+TEST(NnetIo, BadMagicThrows) {
+  std::stringstream buffer("WRONG 1\nlayers 2\n");
+  EXPECT_THROW(load_network(buffer), NnetFormatError);
+}
+
+TEST(NnetIo, BadVersionThrows) {
+  std::stringstream buffer("NNCS-NET 99\n");
+  EXPECT_THROW(load_network(buffer), NnetFormatError);
+}
+
+TEST(NnetIo, TruncatedInputThrows) {
+  const Network original = random_network(9);
+  std::stringstream buffer;
+  save_network(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_network(truncated), NnetFormatError);
+}
+
+TEST(NnetIo, GarbageWhereNumberExpectedThrows) {
+  std::stringstream buffer("NNCS-NET 1\nlayers 2\nsizes 1 1\nbias xyz\n");
+  EXPECT_THROW(load_network(buffer), NnetFormatError);
+}
+
+TEST(NnetIo, SingleLayerNetwork) {
+  Network net = make_zero_network({4, 3});
+  net.layer(0).weights(2, 1) = -0.125;  // exactly representable
+  std::stringstream buffer;
+  save_network(net, buffer);
+  const Network loaded = load_network(buffer);
+  EXPECT_EQ(loaded.layers()[0].weights(2, 1), -0.125);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,259 @@
+// Tests for the validated ODE machinery: Picard a-priori enclosures, the
+// interval Taylor-series integrator, the Euler baseline, Algorithm 1
+// (simulate) and the RK4 reference — including the soundness property that
+// every concretely integrated trajectory stays inside the validated
+// enclosures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/concrete_integrator.hpp"
+#include "ode/dynamics.hpp"
+#include "ode/validated_integrator.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+/// s' = -s (1-d decay): closed form s(t) = s0 e^{-t}.
+struct DecayField {
+  template <class S>
+  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
+    out[0] = -s[0] + 0.0 * u[0];
+  }
+};
+
+/// Harmonic oscillator: (x, v)' = (v, -x); command unused.
+struct OscillatorField {
+  template <class S>
+  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
+    out[0] = s[1] + 0.0 * u[0];
+    out[1] = -s[0] + 0.0 * u[0];
+  }
+};
+
+/// Controlled integrator: (p, v)' = (v, u).
+struct DoubleIntegratorField {
+  template <class S>
+  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
+    out[0] = s[1] + 0.0 * s[0];
+    out[1] = u[0] + 0.0 * s[1];
+  }
+};
+
+/// Nonlinear: s' = sin(s) + u.
+struct SineField {
+  template <class S>
+  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
+    out[0] = sin(s[0]) + u[0];
+  }
+};
+
+TEST(Dynamics, ModelReportsDimensions) {
+  const auto f = make_dynamics(2, 1, OscillatorField{});
+  EXPECT_EQ(f->state_dim(), 2u);
+  EXPECT_EQ(f->command_dim(), 1u);
+}
+
+TEST(Dynamics, EvalOnBoxMatchesIntervalEvaluation) {
+  const auto f = make_dynamics(2, 1, DoubleIntegratorField{});
+  const Box img = eval_on_box(*f, Box{Interval{0.0, 1.0}, Interval{2.0, 3.0}}, Vec{5.0});
+  EXPECT_TRUE(img[0].contains(Interval{2.0, 3.0}));
+  EXPECT_TRUE(img[1].contains(5.0));
+}
+
+TEST(Picard, FindsEnclosureForDecay) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  const auto b = picard_enclosure(*f, Box{Interval{1.0, 2.0}}, Vec{0.0}, 0.1);
+  ASSERT_TRUE(b.has_value());
+  // True solutions stay in [e^{-0.1}, 2].
+  EXPECT_TRUE((*b)[0].contains(Interval{std::exp(-0.1), 2.0}));
+}
+
+TEST(Picard, RejectsNonPositiveStep) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  EXPECT_THROW(picard_enclosure(*f, Box{Interval{1.0}}, Vec{0.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(picard_enclosure(*f, Box{Interval{1.0}}, Vec{0.0}, -1.0), std::invalid_argument);
+}
+
+TEST(TaylorIntegrator, RejectsOrderZero) {
+  TaylorIntegrator::Config config;
+  config.order = 0;
+  EXPECT_THROW(TaylorIntegrator{config}, std::invalid_argument);
+}
+
+TEST(TaylorIntegrator, DecayStepEnclosesClosedForm) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  const TaylorIntegrator integrator;
+  const auto step = integrator.step(*f, Box{Interval{1.0, 2.0}}, Vec{0.0}, 0.25);
+  ASSERT_TRUE(step.has_value());
+  const double lo = std::exp(-0.25) * 1.0;
+  const double hi = std::exp(-0.25) * 2.0;
+  EXPECT_TRUE(step->end[0].contains(lo));
+  EXPECT_TRUE(step->end[0].contains(hi));
+  // Box enclosures cannot contract widths (the dependency problem); the
+  // natural bound is one factor of e^{L·h} on the initial width.
+  EXPECT_LT(step->end[0].width(), 1.0 * std::exp(0.25) * 1.05);
+  // Flow contains both endpoints in time.
+  EXPECT_TRUE(step->flow[0].contains(2.0));
+  EXPECT_TRUE(step->flow[0].contains(lo));
+  // End is inside flow.
+  EXPECT_TRUE(step->flow.contains(step->end));
+}
+
+TEST(TaylorIntegrator, OscillatorQuarterTurn) {
+  const auto f = make_dynamics(2, 1, OscillatorField{});
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{6, {}});
+  Box current{Interval{1.0, 1.0}, Interval{0.0, 0.0}};
+  // Integrate to t = pi/2 in 16 steps: (1,0) -> (0,-1).
+  const double h = std::numbers::pi / 2.0 / 16.0;
+  for (int i = 0; i < 16; ++i) {
+    const auto step = integrator.step(*f, current, Vec{0.0}, h);
+    ASSERT_TRUE(step.has_value());
+    current = step->end;
+  }
+  EXPECT_TRUE(current[0].contains(0.0));
+  EXPECT_TRUE(current[1].contains(-1.0));
+  EXPECT_LT(current[0].width(), 1e-6);
+}
+
+TEST(TaylorIntegrator, HigherOrderIsTighter) {
+  const auto f = make_dynamics(1, 1, SineField{});
+  const Box s0{Interval{0.4, 0.5}};
+  const TaylorIntegrator low(TaylorIntegrator::Config{1, {}});
+  const TaylorIntegrator high(TaylorIntegrator::Config{5, {}});
+  const auto step_low = low.step(*f, s0, Vec{0.1}, 0.2);
+  const auto step_high = high.step(*f, s0, Vec{0.1}, 0.2);
+  ASSERT_TRUE(step_low.has_value());
+  ASSERT_TRUE(step_high.has_value());
+  EXPECT_LE(step_high->end[0].width(), step_low->end[0].width());
+}
+
+TEST(EulerIntegrator, SoundButLooserThanTaylor) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  const EulerIntegrator euler;
+  const TaylorIntegrator taylor;
+  const Box s0{Interval{1.0, 1.1}};
+  const auto se = euler.step(*f, s0, Vec{0.0}, 0.1);
+  const auto st = taylor.step(*f, s0, Vec{0.0}, 0.1);
+  ASSERT_TRUE(se.has_value());
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(se->end[0].contains(std::exp(-0.1)));
+  EXPECT_GE(se->end[0].width(), st->end[0].width());
+}
+
+TEST(Simulate, FlowpipeHasOneSegmentPerStep) {
+  const auto f = make_dynamics(2, 1, DoubleIntegratorField{});
+  const TaylorIntegrator integrator;
+  const Flowpipe pipe =
+      simulate(*f, integrator, Box{Interval{0.0, 1.0}, Interval{1.0, 1.0}}, Vec{0.5}, 1.0, 4);
+  EXPECT_TRUE(pipe.ok);
+  EXPECT_EQ(pipe.segments.size(), 4u);
+  // p(1) = p0 + v0 + u/2 in [1.25, 2.25]; v(1) = 1.5.
+  EXPECT_TRUE(pipe.end[0].contains(Interval{1.25, 2.25}));
+  EXPECT_TRUE(pipe.end[1].contains(1.5));
+  // hull covers start and end
+  const Box h = pipe.hull_box();
+  EXPECT_TRUE(h[0].contains(0.0));
+  EXPECT_TRUE(h[0].contains(2.25));
+}
+
+TEST(Simulate, InvalidArgumentsThrow) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  const TaylorIntegrator integrator;
+  EXPECT_THROW(simulate(*f, integrator, Box{Interval{1.0}}, Vec{0.0}, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(simulate(*f, integrator, Box{Interval{1.0}}, Vec{0.0}, -1.0, 4),
+               std::invalid_argument);
+}
+
+TEST(Rk4, MatchesClosedFormDecay) {
+  const auto f = make_dynamics(1, 1, DecayField{});
+  const Vec s1 = rk4_integrate(*f, Vec{1.0}, Vec{0.0}, 1.0, 100);
+  EXPECT_NEAR(s1[0], std::exp(-1.0), 1e-8);
+}
+
+TEST(Rk4, TrajectoryHasExpectedShape) {
+  const auto f = make_dynamics(2, 1, OscillatorField{});
+  const auto traj = rk4_trajectory(*f, Vec{1.0, 0.0}, Vec{0.0}, 2.0 * std::numbers::pi, 200);
+  EXPECT_EQ(traj.size(), 201u);
+  EXPECT_NEAR(traj.back()[0], 1.0, 1e-6);  // full period returns to start
+  EXPECT_NEAR(traj.back()[1], 0.0, 1e-6);
+  EXPECT_THROW(rk4_trajectory(*f, Vec{1.0, 0.0}, Vec{0.0}, 1.0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Soundness property: RK4 trajectories from sampled initial conditions stay
+// inside the validated flowpipe, for several systems and step counts.
+// ---------------------------------------------------------------------------
+
+struct SoundnessCase {
+  const char* name;
+  std::size_t dim;
+  double period;
+  int steps;
+  double u;
+  double lo0, hi0, lo1, hi1;  // initial ranges (dim 2 uses both)
+  int field;                  // 0=decay 1=osc 2=dblint 3=sine
+};
+
+class FlowpipeSoundness : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(FlowpipeSoundness, ConcreteTrajectoriesStayInside) {
+  const auto& c = GetParam();
+  std::unique_ptr<Dynamics> f;
+  switch (c.field) {
+    case 0:
+      f = make_dynamics(1, 1, DecayField{});
+      break;
+    case 1:
+      f = make_dynamics(2, 1, OscillatorField{});
+      break;
+    case 2:
+      f = make_dynamics(2, 1, DoubleIntegratorField{});
+      break;
+    default:
+      f = make_dynamics(1, 1, SineField{});
+      break;
+  }
+  Box s0 = c.dim == 1 ? Box{Interval{c.lo0, c.hi0}}
+                      : Box{Interval{c.lo0, c.hi0}, Interval{c.lo1, c.hi1}};
+  const TaylorIntegrator integrator;
+  const Flowpipe pipe = simulate(*f, integrator, s0, Vec{c.u}, c.period, c.steps);
+  ASSERT_TRUE(pipe.ok) << c.name;
+
+  Rng rng(2024);
+  const int kSubstepsPerSegment = 8;
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec s(c.dim);
+    for (std::size_t d = 0; d < c.dim; ++d) {
+      s[d] = rng.uniform(s0[d].lo(), s0[d].hi());
+    }
+    // Walk the trajectory segment by segment; every substep state must lie
+    // in the corresponding flowpipe segment.
+    const double h_seg = c.period / c.steps;
+    for (int seg = 0; seg < c.steps; ++seg) {
+      for (int sub = 0; sub < kSubstepsPerSegment; ++sub) {
+        ASSERT_TRUE(pipe.segments[seg].contains(s))
+            << c.name << " seg " << seg << " sub " << sub;
+        s = rk4_step(*f, s, Vec{c.u}, h_seg / kSubstepsPerSegment);
+      }
+    }
+    ASSERT_TRUE(pipe.end.contains(s)) << c.name << " at end";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, FlowpipeSoundness,
+    ::testing::Values(
+        SoundnessCase{"decay", 1, 1.0, 10, 0.0, 0.5, 1.5, 0, 0, 0},
+        SoundnessCase{"decay_forced", 1, 2.0, 20, 0.7, -1.0, 1.0, 0, 0, 0},
+        SoundnessCase{"oscillator", 2, 1.0, 10, 0.0, 0.9, 1.1, -0.1, 0.1, 1},
+        SoundnessCase{"double_integrator", 2, 1.0, 5, -2.0, 0.0, 1.0, 1.0, 2.0, 2},
+        SoundnessCase{"sine", 1, 1.0, 10, 0.3, 0.0, 0.5, 0, 0, 3},
+        SoundnessCase{"sine_negative", 1, 0.5, 5, -0.5, -1.0, -0.5, 0, 0, 3}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,101 @@
+// Round-trip and error-handling tests for the verification-report CSV
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/report_io.hpp"
+
+namespace nncs {
+namespace {
+
+VerifyReport sample_report() {
+  VerifyReport report;
+  report.root_cells = 4;
+  report.coverage_percent = 62.5;
+  report.seconds = 12.75;
+  report.proved_by_depth = {2, 1};
+  CellOutcome a;
+  a.root_index = 0;
+  a.depth = 0;
+  a.outcome = ReachOutcome::kProvedSafe;
+  a.stats.seconds = 0.5;
+  a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3};
+  CellOutcome b;
+  b.root_index = 2;
+  b.depth = 1;
+  b.outcome = ReachOutcome::kErrorReachable;
+  b.stats.seconds = 1.25;
+  b.initial = SymbolicState{Box{Interval{5.0, 6.0}, Interval{-0.5, 0.5}}, 0};
+  report.leaves = {a, b};
+  report.proved_leaves = 1;
+  report.failed_leaves = 1;
+  return report;
+}
+
+TEST(ReportIo, RoundTripPreservesEverything) {
+  const VerifyReport original = sample_report();
+  std::stringstream buffer;
+  save_report(original, buffer);
+  const VerifyReport loaded = load_report(buffer);
+  EXPECT_EQ(loaded.root_cells, original.root_cells);
+  EXPECT_DOUBLE_EQ(loaded.coverage_percent, original.coverage_percent);
+  EXPECT_DOUBLE_EQ(loaded.seconds, original.seconds);
+  EXPECT_EQ(loaded.proved_by_depth, original.proved_by_depth);
+  EXPECT_EQ(loaded.proved_leaves, original.proved_leaves);
+  EXPECT_EQ(loaded.failed_leaves, original.failed_leaves);
+  ASSERT_EQ(loaded.leaves.size(), original.leaves.size());
+  for (std::size_t i = 0; i < loaded.leaves.size(); ++i) {
+    EXPECT_EQ(loaded.leaves[i].root_index, original.leaves[i].root_index);
+    EXPECT_EQ(loaded.leaves[i].depth, original.leaves[i].depth);
+    EXPECT_EQ(loaded.leaves[i].outcome, original.leaves[i].outcome);
+    EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.seconds, original.leaves[i].stats.seconds);
+    EXPECT_EQ(loaded.leaves[i].initial.command, original.leaves[i].initial.command);
+    EXPECT_EQ(loaded.leaves[i].initial.box, original.leaves[i].initial.box);
+  }
+}
+
+TEST(ReportIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "nncs_report_test.csv";
+  save_report(sample_report(), path);
+  const VerifyReport loaded = load_report(path);
+  EXPECT_EQ(loaded.leaves.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ReportIo, MissingFileThrows) {
+  EXPECT_THROW(load_report(std::filesystem::path{"/nonexistent/report.csv"}),
+               std::runtime_error);
+}
+
+TEST(ReportIo, BadHeaderThrows) {
+  std::stringstream buffer("something-else,1,2,3\n");
+  EXPECT_THROW(load_report(buffer), ReportFormatError);
+  std::stringstream empty;
+  EXPECT_THROW(load_report(empty), ReportFormatError);
+}
+
+TEST(ReportIo, MalformedLeafThrows) {
+  std::stringstream buffer("nncs-report v1,1,0,0,0\n0,0,proved-safe\n");
+  EXPECT_THROW(load_report(buffer), ReportFormatError);
+}
+
+TEST(ReportIo, UnknownOutcomeThrows) {
+  std::stringstream buffer("nncs-report v1,1,0,0,0\n0,0,banana,0.1,0,0,1\n");
+  EXPECT_THROW(load_report(buffer), ReportFormatError);
+}
+
+TEST(ReportIo, NumbersRoundTripBitExact) {
+  VerifyReport report = sample_report();
+  report.leaves[0].initial.box = Box{Interval{0.1, 0.30000000000000004}};
+  std::stringstream buffer;
+  save_report(report, buffer);
+  const VerifyReport loaded = load_report(buffer);
+  EXPECT_EQ(loaded.leaves[0].initial.box[0].lo(), 0.1);
+  EXPECT_EQ(loaded.leaves[0].initial.box[0].hi(), 0.30000000000000004);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,132 @@
+// Tests for the standalone ReluVal-style network verifier with input
+// bisection.
+
+#include <gtest/gtest.h>
+
+#include "nn/split_verifier.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+/// A network computing y = (x0 - x1, x1 - x0): argmin is 0 iff x0 < x1.
+Network difference_network() {
+  Network net = make_zero_network({2, 2});
+  net.layer(0).weights(0, 0) = 1.0;
+  net.layer(0).weights(0, 1) = -1.0;
+  net.layer(0).weights(1, 0) = -1.0;
+  net.layer(0).weights(1, 1) = 1.0;
+  return net;
+}
+
+TEST(SplitVerifier, ProvesArgminOnCleanRegion) {
+  const Network net = difference_network();
+  // x0 in [0, 1], x1 in [2, 3]: x0 - x1 < 0 always -> argmin 0.
+  const auto result =
+      split_verify(net, Box{Interval{0.0, 1.0}, Interval{2.0, 3.0}}, argmin_is(0));
+  EXPECT_EQ(result.verdict, Verdict::kProved);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(SplitVerifier, DisprovesWithCounterexample) {
+  const Network net = difference_network();
+  // x0 in [2, 3], x1 in [0, 1]: argmin is 1, not 0.
+  const auto result =
+      split_verify(net, Box{Interval{2.0, 3.0}, Interval{0.0, 1.0}}, argmin_is(0));
+  EXPECT_EQ(result.verdict, Verdict::kDisproved);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const Vec y = net.eval(*result.counterexample);
+  EXPECT_GE(y[0], y[1]);  // the counterexample really violates the property
+}
+
+TEST(SplitVerifier, SplittingResolvesMixedRegion) {
+  const Network net = difference_network();
+  // x0 in [0,1], x1 in [1.1, 1.2]: provable but the plain box at depth 0
+  // may already work; tighten with a region needing a couple of splits.
+  SplitVerifyConfig config;
+  config.max_depth = 10;
+  const auto result =
+      split_verify(net, Box{Interval{0.0, 1.05}, Interval{1.1, 1.2}}, argmin_is(0), config);
+  EXPECT_EQ(result.verdict, Verdict::kProved);
+}
+
+TEST(SplitVerifier, UnknownAtZeroDepthOnBoundary) {
+  const Network net = difference_network();
+  SplitVerifyConfig config;
+  config.max_depth = 0;
+  // The region straddles the x0 = x1 boundary: cannot be proved, and the
+  // midpoint (0.5, 0.5) gives y = (0,0) whose argmin IS 0 (tie-break), so
+  // it is not disproved either at depth 0.
+  const auto result =
+      split_verify(net, Box{Interval{0.0, 1.0}, Interval{0.0, 1.0}}, argmin_is(0), config);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+}
+
+TEST(SplitVerifier, OutputRangeProperty) {
+  // y = relu(x) over [-1, 1]: range [0, 1] subset of [-0.1, 1.1].
+  Network net = make_zero_network({1, 1, 1});
+  net.layer(0).weights(0, 0) = 1.0;
+  net.layer(1).weights(0, 0) = 1.0;
+  SplitVerifyConfig config;
+  config.max_depth = 8;
+  const auto result = split_verify(net, Box{Interval{-1.0, 1.0}},
+                                   output_in_range(0, -0.1, 1.1), config);
+  EXPECT_EQ(result.verdict, Verdict::kProved);
+  const auto fail = split_verify(net, Box{Interval{-1.0, 1.0}},
+                                 output_in_range(0, -0.1, 0.5), config);
+  EXPECT_EQ(fail.verdict, Verdict::kDisproved);
+}
+
+TEST(SplitVerifier, ArgminIsNotProperty) {
+  const Network net = difference_network();
+  // x0 in [2,3], x1 in [0,1]: argmin is 1, never 0 -> argmin_is_not(0) holds.
+  const auto proved =
+      split_verify(net, Box{Interval{2.0, 3.0}, Interval{0.0, 1.0}}, argmin_is_not(0));
+  EXPECT_EQ(proved.verdict, Verdict::kProved);
+  // x0 in [0,1], x1 in [2,3]: argmin IS 0 -> disproved with counterexample.
+  const auto disproved =
+      split_verify(net, Box{Interval{0.0, 1.0}, Interval{2.0, 3.0}}, argmin_is_not(0));
+  EXPECT_EQ(disproved.verdict, Verdict::kDisproved);
+  ASSERT_TRUE(disproved.counterexample.has_value());
+}
+
+TEST(SplitVerifier, IntervalDomainAlsoWorks) {
+  const Network net = difference_network();
+  SplitVerifyConfig config;
+  config.use_symbolic = false;
+  config.max_depth = 12;
+  const auto result =
+      split_verify(net, Box{Interval{0.0, 1.0}, Interval{2.0, 3.0}}, argmin_is(0), config);
+  EXPECT_EQ(result.verdict, Verdict::kProved);
+}
+
+TEST(SplitVerifier, SymbolicNeedsFewerBoxesThanInterval) {
+  Rng rng(5);
+  Network net = make_zero_network({2, 10, 10, 2});
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (double& w : net.layer(li).weights.data()) {
+      w = rng.uniform(-1.0, 1.0);
+    }
+  }
+  net.layer(2).biases[1] = 5.0;  // make output 1 clearly larger -> argmin 0
+  SplitVerifyConfig sym_config;
+  SplitVerifyConfig int_config;
+  int_config.use_symbolic = false;
+  const Box input(2, Interval{-1.0, 1.0});
+  const auto sym = split_verify(net, input, argmin_is(0), sym_config);
+  const auto itv = split_verify(net, input, argmin_is(0), int_config);
+  EXPECT_EQ(sym.verdict, Verdict::kProved);
+  EXPECT_EQ(itv.verdict, Verdict::kProved);
+  EXPECT_LE(sym.boxes_explored, itv.boxes_explored);
+}
+
+TEST(SplitVerifier, ValidatesArguments) {
+  const Network net = difference_network();
+  EXPECT_THROW(split_verify(net, Box{Interval{0.0, 1.0}}, argmin_is(0)),
+               std::invalid_argument);
+  OutputProperty empty;
+  EXPECT_THROW(split_verify(net, Box(2, Interval{0.0, 1.0}), empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,144 @@
+// Tests for symbolic states/sets and the Algorithm 2 resize heuristic
+// (Def 9 distance, Def 10 join, Remark 3 command-group floor).
+
+#include <gtest/gtest.h>
+
+#include "core/symbolic_state.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+SymbolicState state(double lo0, double hi0, double lo1, double hi1, std::size_t cmd) {
+  return SymbolicState{Box{Interval{lo0, hi0}, Interval{lo1, hi1}}, cmd};
+}
+
+TEST(SymbolicState, DistanceIsBetweenCenters) {
+  const auto a = state(0.0, 2.0, 0.0, 2.0, 1);   // center (1,1)
+  const auto b = state(3.0, 5.0, 4.0, 6.0, 1);   // center (4,5)
+  EXPECT_NEAR(distance(a, b), 5.0, 1e-12);
+}
+
+TEST(SymbolicState, DistanceRequiresSameCommand) {
+  const auto a = state(0.0, 1.0, 0.0, 1.0, 0);
+  const auto b = state(0.0, 1.0, 0.0, 1.0, 1);
+  EXPECT_THROW(distance(a, b), std::invalid_argument);
+}
+
+TEST(SymbolicState, JoinIsSmallestCoveringState) {
+  const auto a = state(0.0, 1.0, 0.0, 1.0, 2);
+  const auto b = state(2.0, 3.0, -1.0, 0.5, 2);
+  const auto j = join(a, b);
+  EXPECT_EQ(j.command, 2u);
+  EXPECT_TRUE(j.box.contains(a.box));
+  EXPECT_TRUE(j.box.contains(b.box));
+  EXPECT_EQ(j.box[0].lo(), 0.0);
+  EXPECT_EQ(j.box[0].hi(), 3.0);
+  EXPECT_EQ(j.box[1].lo(), -1.0);
+}
+
+TEST(SymbolicState, JoinRequiresSameCommand) {
+  EXPECT_THROW(join(state(0, 1, 0, 1, 0), state(0, 1, 0, 1, 1)), std::invalid_argument);
+}
+
+TEST(Resize, NoOpWhenUnderThreshold) {
+  SymbolicSet set{state(0, 1, 0, 1, 0), state(5, 6, 5, 6, 1)};
+  const auto stats = resize(set, 5);
+  EXPECT_EQ(stats.joins, 0u);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Resize, JoinsClosestPairFirst) {
+  // Three states with command 0: two near each other, one far away.
+  SymbolicSet set{state(0.0, 1.0, 0.0, 1.0, 0), state(1.0, 2.0, 1.0, 2.0, 0),
+                  state(100.0, 101.0, 100.0, 101.0, 0)};
+  const auto stats = resize(set, 2);
+  EXPECT_EQ(stats.joins, 1u);
+  ASSERT_EQ(set.size(), 2u);
+  // The far state must be untouched.
+  bool far_untouched = false;
+  for (const auto& s : set) {
+    if (s.box[0].lo() == 100.0 && s.box[0].hi() == 101.0) {
+      far_untouched = true;
+    }
+  }
+  EXPECT_TRUE(far_untouched);
+}
+
+TEST(Resize, NeverJoinsAcrossCommands) {
+  SymbolicSet set{state(0, 1, 0, 1, 0), state(0, 1, 0, 1, 1), state(0, 1, 0, 1, 2)};
+  const auto stats = resize(set, 1);  // impossible: 3 distinct commands
+  EXPECT_EQ(stats.joins, 0u);
+  EXPECT_EQ(set.size(), 3u);  // Remark 3: floor is the distinct-command count
+}
+
+TEST(Resize, ReachesExactThreshold) {
+  SymbolicSet set;
+  for (int i = 0; i < 10; ++i) {
+    set.push_back(state(i, i + 0.5, 0.0, 1.0, 0));
+  }
+  const auto stats = resize(set, 4);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(stats.joins, 6u);
+}
+
+TEST(Resize, RejectsZeroGamma) {
+  SymbolicSet set{state(0, 1, 0, 1, 0)};
+  EXPECT_THROW(resize(set, 0), std::invalid_argument);
+}
+
+// Soundness property: the union of boxes after resize covers the union
+// before (Ensure clause of Algorithm 2: R̃_j ⊃ old(R̃_j)).
+TEST(ResizeProperty, UnionCoverageIsPreserved) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    SymbolicSet set;
+    const int n = static_cast<int>(rng.uniform_int(5, 25));
+    for (int i = 0; i < n; ++i) {
+      const double lo0 = rng.uniform(-10.0, 10.0);
+      const double lo1 = rng.uniform(-10.0, 10.0);
+      set.push_back(state(lo0, lo0 + rng.uniform(0.1, 2.0), lo1,
+                          lo1 + rng.uniform(0.1, 2.0),
+                          static_cast<std::size_t>(rng.uniform_int(0, 2))));
+    }
+    const SymbolicSet before = set;
+    resize(set, static_cast<std::size_t>(rng.uniform_int(3, 8)));
+    // Sample points from the original states; each must be covered by some
+    // state with the same command in the resized set.
+    for (const auto& old_state : before) {
+      for (int s = 0; s < 10; ++s) {
+        const Vec p{rng.uniform(old_state.box[0].lo(), old_state.box[0].hi()),
+                    rng.uniform(old_state.box[1].lo(), old_state.box[1].hi())};
+        bool covered = false;
+        for (const auto& new_state : set) {
+          if (new_state.command == old_state.command && new_state.box.contains(p)) {
+            covered = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(covered);
+      }
+    }
+  }
+}
+
+// Property: resize is idempotent at the reached size.
+TEST(ResizeProperty, IdempotentAtFixpoint) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    SymbolicSet set;
+    for (int i = 0; i < 12; ++i) {
+      const double lo = rng.uniform(-5.0, 5.0);
+      set.push_back(state(lo, lo + 1.0, 0.0, 1.0,
+                          static_cast<std::size_t>(rng.uniform_int(0, 1))));
+    }
+    resize(set, 5);
+    const SymbolicSet once = set;
+    const auto again = resize(set, 5);
+    EXPECT_EQ(again.joins, 0u);
+    EXPECT_EQ(set.size(), once.size());
+  }
+}
+
+}  // namespace
+}  // namespace nncs

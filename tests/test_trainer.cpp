@@ -1,0 +1,134 @@
+// Tests for the Adam/MSE trainer: convergence on known functions,
+// determinism, and input validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+Dataset linear_dataset(int n, std::uint64_t seed) {
+  // y = 2x0 - 3x1 + 1 (learnable even without hidden nonlinearity).
+  Dataset data;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    const double x1 = rng.uniform(-1.0, 1.0);
+    data.add(Vec{x0, x1}, Vec{2.0 * x0 - 3.0 * x1 + 1.0});
+  }
+  return data;
+}
+
+TEST(Trainer, LearnsLinearFunction) {
+  const Dataset data = linear_dataset(2000, 1);
+  TrainerConfig config;
+  config.hidden = {8};
+  config.epochs = 120;
+  config.learning_rate = 3e-3;
+  const Network net = Trainer(config).train(data, 2, 1);
+  EXPECT_LT(Trainer::mse(net, data), 1e-2);
+}
+
+TEST(Trainer, LearnsAbsoluteValue) {
+  // |x| needs the ReLU nonlinearity.
+  Dataset data;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    data.add(Vec{x}, Vec{std::fabs(x)});
+  }
+  TrainerConfig config;
+  config.hidden = {16, 16};
+  config.epochs = 80;
+  const Network net = Trainer(config).train(data, 1, 1);
+  EXPECT_LT(Trainer::mse(net, data), 1e-3);
+  EXPECT_NEAR(net.eval(Vec{0.5})[0], 0.5, 0.05);
+  EXPECT_NEAR(net.eval(Vec{-0.5})[0], 0.5, 0.05);
+}
+
+TEST(Trainer, DeterministicForFixedSeed) {
+  const Dataset data = linear_dataset(500, 2);
+  TrainerConfig config;
+  config.hidden = {8};
+  config.epochs = 5;
+  const Network a = Trainer(config).train(data, 2, 1);
+  const Network b = Trainer(config).train(data, 2, 1);
+  for (std::size_t li = 0; li < a.num_layers(); ++li) {
+    EXPECT_EQ(a.layers()[li].weights, b.layers()[li].weights);
+    EXPECT_EQ(a.layers()[li].biases, b.layers()[li].biases);
+  }
+}
+
+TEST(Trainer, DifferentSeedsGiveDifferentNetworks) {
+  const Dataset data = linear_dataset(500, 2);
+  TrainerConfig config;
+  config.hidden = {8};
+  config.epochs = 2;
+  config.seed = 1;
+  const Network a = Trainer(config).train(data, 2, 1);
+  config.seed = 2;
+  const Network b = Trainer(config).train(data, 2, 1);
+  EXPECT_NE(a.layers()[0].weights, b.layers()[0].weights);
+}
+
+TEST(Trainer, FitImprovesExistingNetwork) {
+  const Dataset data = linear_dataset(1000, 4);
+  TrainerConfig config;
+  config.hidden = {8};
+  config.epochs = 2;
+  const Trainer trainer(config);
+  Network net = trainer.train(data, 2, 1);
+  const double before = Trainer::mse(net, data);
+  TrainerConfig more = config;
+  more.epochs = 30;
+  const double after = Trainer(more).fit(net, data);
+  EXPECT_LT(after, before);
+}
+
+TEST(Trainer, MultiOutputRegression) {
+  Dataset data;
+  Rng rng(5);
+  for (int i = 0; i < 1500; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    data.add(Vec{x}, Vec{x, -x, 0.5 * x + 0.25});
+  }
+  TrainerConfig config;
+  config.hidden = {12};
+  config.epochs = 60;
+  const Network net = Trainer(config).train(data, 1, 3);
+  EXPECT_LT(Trainer::mse(net, data), 1e-3);
+}
+
+TEST(Trainer, RejectsBadHyperparameters) {
+  TrainerConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(Trainer{config}, std::invalid_argument);
+  config = TrainerConfig{};
+  config.learning_rate = -1.0;
+  EXPECT_THROW(Trainer{config}, std::invalid_argument);
+}
+
+TEST(Trainer, RejectsBadDatasets) {
+  TrainerConfig config;
+  const Trainer trainer(config);
+  Dataset empty;
+  EXPECT_THROW(trainer.train(empty, 2, 1), std::invalid_argument);
+  Dataset mismatched;
+  mismatched.add(Vec{1.0}, Vec{1.0});  // input dim 1, trained as dim 2
+  EXPECT_THROW(trainer.train(mismatched, 2, 1), std::invalid_argument);
+  Dataset ragged;
+  ragged.inputs.push_back(Vec{1.0, 2.0});
+  EXPECT_THROW(trainer.train(ragged, 2, 1), std::invalid_argument);
+}
+
+TEST(Trainer, MseOfEmptyDatasetIsZero) {
+  const Network net = make_zero_network({1, 1});
+  EXPECT_EQ(Trainer::mse(net, Dataset{}), 0.0);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,165 @@
+// Tests for the utility substrate: thread pool, deterministic RNG, tables,
+// stopwatch, env knobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nncs {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  // Each root task spawns two children (split-refinement pattern).
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int c = 0; c < 2; ++c) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LE(v, 3.0);
+    const auto n = rng.uniform_int(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // Streams differ (overwhelmingly likely) but are each deterministic.
+  Rng parent2(9);
+  Rng child2 = parent2.fork();
+  EXPECT_EQ(child.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 1.0);
+  EXPECT_NEAR(watch.millis(), watch.seconds() * 1e3, 1e3);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table table("demo", {"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "2.5"});
+  EXPECT_EQ(table.rows(), 2u);
+
+  std::ostringstream human;
+  table.print(human);
+  EXPECT_NE(human.str().find("== demo =="), std::string::npos);
+  EXPECT_NE(human.str().find("alpha"), std::string::npos);
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("# CSV demo"), std::string::npos);
+  EXPECT_NE(csv.str().find("alpha,1"), std::string::npos);
+
+  std::ostringstream both;
+  table.print_all(both);
+  EXPECT_NE(both.str().find("# CSV demo"), std::string::npos);
+}
+
+TEST(Table, ValidatesShape) {
+  EXPECT_THROW(Table("x", {}), std::invalid_argument);
+  Table table("x", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(0.123456789, 3), "0.123");
+}
+
+TEST(Env, ScaleDefaultsAndParsing) {
+  unsetenv("NNCS_SCALE");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  setenv("NNCS_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 2.5);
+  setenv("NNCS_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  setenv("NNCS_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  unsetenv("NNCS_SCALE");
+}
+
+TEST(Env, ThreadsDefaultsAndParsing) {
+  unsetenv("NNCS_THREADS");
+  EXPECT_GE(env_threads(), 1u);
+  setenv("NNCS_THREADS", "3", 1);
+  EXPECT_EQ(env_threads(), 3u);
+  setenv("NNCS_THREADS", "0", 1);
+  EXPECT_GE(env_threads(), 1u);
+  unsetenv("NNCS_THREADS");
+}
+
+}  // namespace
+}  // namespace nncs

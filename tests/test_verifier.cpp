@@ -1,0 +1,192 @@
+// Tests for the partition-and-refine verification driver and the paper's
+// coverage metric.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "closed_loop_fixtures.hpp"
+#include "core/verifier.hpp"
+
+namespace nncs {
+namespace {
+
+using testing_fixtures::braking_plant;
+using testing_fixtures::threshold_controller;
+
+const TaylorIntegrator kIntegrator;
+
+TEST(Coverage, PaperFormula) {
+  // c = 100/K0 * sum_d n_d / f^d
+  EXPECT_DOUBLE_EQ(coverage_percent(10, {10}, 8), 100.0);
+  EXPECT_DOUBLE_EQ(coverage_percent(10, {5}, 8), 50.0);
+  // one cell proved at depth 1 out of 1 root with split factor 8 counts 1/8.
+  EXPECT_DOUBLE_EQ(coverage_percent(1, {0, 1}, 8), 100.0 / 8.0);
+  // paper-style mix: K0=100, 80 at depth 0, 96 at depth 1, 128 at depth 2.
+  EXPECT_NEAR(coverage_percent(100, {80, 96, 128}, 8), 80.0 + 12.0 + 2.0, 1e-9);
+  EXPECT_EQ(coverage_percent(0, {1}, 8), 0.0);
+}
+
+/// A verification setup where safety depends on the initial distance: the
+/// always-coast vehicle moving away (v < 0) terminates at p >= 20; vehicles
+/// with v > 0 eventually collide.
+struct BrakeSetup {
+  std::unique_ptr<Dynamics> plant = braking_plant();
+  std::unique_ptr<NeuralController> ctrl = threshold_controller(-1e9, -8.0);
+  ClosedLoop system{plant.get(), ctrl.get(), 1.0};
+  BoxRegion error{{{0, Interval{-1e9, 0.0}}}};
+  BoxRegion target{{{0, Interval{20.0, 1e9}}}};
+
+  VerifyConfig config() const {
+    VerifyConfig vc;
+    vc.reach.control_steps = 30;
+    vc.reach.integration_steps = 2;
+    vc.reach.gamma = 4;
+    vc.reach.integrator = &kIntegrator;
+    vc.max_refinement_depth = 2;
+    vc.split_dims = {1};
+    vc.threads = 2;
+    return vc;
+  }
+};
+
+TEST(Verifier, AllSafeCellsProveAtDepthZero) {
+  BrakeSetup s;
+  SymbolicSet cells;
+  for (int i = 0; i < 4; ++i) {
+    cells.push_back({Box{Interval{5.0 + i, 6.0 + i}, Interval{-2.0, -1.0}}, 0});
+  }
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
+  EXPECT_EQ(report.root_cells, 4u);
+  EXPECT_EQ(report.proved_leaves, 4u);
+  EXPECT_EQ(report.failed_leaves, 0u);
+  EXPECT_DOUBLE_EQ(report.coverage_percent, 100.0);
+  EXPECT_EQ(report.proved_by_depth[0], 4u);
+}
+
+TEST(Verifier, UnsafeCellsFailAtMaxDepth) {
+  BrakeSetup s;
+  // v > 0: collision certain; refinement cannot help.
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{1.0, 2.0}}, 0}};
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
+  EXPECT_EQ(report.proved_leaves, 0u);
+  // depth 2 with one split dim: 4 leaves.
+  EXPECT_EQ(report.failed_leaves, 4u);
+  EXPECT_DOUBLE_EQ(report.coverage_percent, 0.0);
+  for (const auto& leaf : report.leaves) {
+    EXPECT_EQ(leaf.depth, 2);
+    EXPECT_EQ(leaf.outcome, ReachOutcome::kErrorReachable);
+  }
+}
+
+TEST(Verifier, RefinementRecoversPartialCoverage) {
+  BrakeSetup s;
+  // v in [-2, 2]: mixed cell; splitting on v separates safe from unsafe.
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{-2.0, 2.0}}, 0}};
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
+  EXPECT_GT(report.proved_leaves, 0u);
+  EXPECT_GT(report.failed_leaves, 0u);
+  EXPECT_GT(report.coverage_percent, 0.0);
+  EXPECT_LT(report.coverage_percent, 100.0);
+  // Proofs only appear below depth 0 for this mixed cell.
+  EXPECT_EQ(report.proved_by_depth[0], 0u);
+  // Root index is preserved through refinement.
+  for (const auto& leaf : report.leaves) {
+    EXPECT_EQ(leaf.root_index, 0u);
+  }
+}
+
+TEST(Verifier, DepthZeroConfigDoesNotRefine) {
+  BrakeSetup s;
+  VerifyConfig vc = s.config();
+  vc.max_refinement_depth = 0;
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{-2.0, 2.0}}, 0}};
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, vc);
+  EXPECT_EQ(report.leaves.size(), 1u);
+  EXPECT_EQ(report.failed_leaves, 1u);
+}
+
+TEST(Verifier, ThreadCountDoesNotChangeResults) {
+  BrakeSetup s;
+  SymbolicSet cells;
+  for (int i = 0; i < 6; ++i) {
+    cells.push_back({Box{Interval{4.0 + i, 5.0 + i}, Interval{-2.0, 2.0}}, 0});
+  }
+  VerifyConfig one = s.config();
+  one.threads = 1;
+  VerifyConfig four = s.config();
+  four.threads = 4;
+  const auto a = Verifier(s.system, s.error, s.target).verify(cells, one);
+  const auto b = Verifier(s.system, s.error, s.target).verify(cells, four);
+  EXPECT_EQ(a.proved_leaves, b.proved_leaves);
+  EXPECT_EQ(a.failed_leaves, b.failed_leaves);
+  EXPECT_DOUBLE_EQ(a.coverage_percent, b.coverage_percent);
+  EXPECT_EQ(a.proved_by_depth, b.proved_by_depth);
+}
+
+TEST(Verifier, BookkeepingIsConsistent) {
+  BrakeSetup s;
+  SymbolicSet cells;
+  for (int i = 0; i < 3; ++i) {
+    cells.push_back({Box{Interval{5.0 + i, 6.0 + i}, Interval{-1.0, 1.0}}, 0});
+  }
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
+  EXPECT_EQ(report.proved_leaves + report.failed_leaves, report.leaves.size());
+  std::size_t proved_sum = 0;
+  for (const auto n : report.proved_by_depth) {
+    proved_sum += n;
+  }
+  EXPECT_EQ(proved_sum, report.proved_leaves);
+}
+
+TEST(Verifier, WidestDimStrategyBisectsOneDimensionPerLevel) {
+  BrakeSetup s;
+  VerifyConfig vc = s.config();
+  vc.split_strategy = SplitStrategy::kWidestDim;
+  vc.split_dims = {1, 0};  // round-robin starts with v
+  vc.max_refinement_depth = 3;
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{-2.0, 2.0}}, 0}};
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, vc);
+  // Every refinement level halves exactly one dimension: a depth-d leaf has
+  // total halvings a + b = d with widths root/2^a x root/2^b.
+  for (const auto& leaf : report.leaves) {
+    const double a = std::log2(cells[0].box[0].width() / leaf.initial.box[0].width());
+    const double b = std::log2(cells[0].box[1].width() / leaf.initial.box[1].width());
+    EXPECT_NEAR(a + b, leaf.depth, 1e-9);
+    EXPECT_GE(a, -1e-9);
+    EXPECT_GE(b, -1e-9);
+  }
+  // Receding-v sub-cells become provable once v is halved twice.
+  EXPECT_GT(report.coverage_percent, 0.0);
+  EXPECT_LT(report.coverage_percent, 100.0);
+}
+
+TEST(Verifier, WidestDimMatchesAllDimsCoverageAtHigherDepth) {
+  BrakeSetup s;
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{-2.0, 2.0}}, 0}};
+  VerifyConfig all = s.config();
+  all.split_dims = {1};
+  all.max_refinement_depth = 2;
+  VerifyConfig widest = s.config();
+  widest.split_dims = {1};
+  widest.split_strategy = SplitStrategy::kWidestDim;
+  widest.max_refinement_depth = 2;
+  // With a single split dim, both strategies do the same thing.
+  const auto a = Verifier(s.system, s.error, s.target).verify(cells, all);
+  const auto b = Verifier(s.system, s.error, s.target).verify(cells, widest);
+  EXPECT_DOUBLE_EQ(a.coverage_percent, b.coverage_percent);
+  EXPECT_EQ(a.leaves.size(), b.leaves.size());
+}
+
+TEST(Verifier, ValidatesArguments) {
+  BrakeSetup s;
+  const Verifier verifier(s.system, s.error, s.target);
+  EXPECT_THROW(verifier.verify(SymbolicSet{}, s.config()), std::invalid_argument);
+  VerifyConfig bad = s.config();
+  bad.max_refinement_depth = -1;
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{0.0, 1.0}}, 0}};
+  EXPECT_THROW(verifier.verify(cells, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,177 @@
+/// Command-line driver for the ACAS Xu verification pipeline — the entry
+/// point a downstream user scripts against. Exposes every experiment knob
+/// and writes a machine-readable report.
+///
+///   nncs_acasxu_cli [options]
+///     --arcs N         bearing arcs in the partition         (default 32)
+///     --headings N     heading cells per arc                 (default 8)
+///     --depth N        max split-refinement depth            (default 1)
+///     --gamma N        symbolic-set threshold Γ              (default 5)
+///     --steps N        control steps q (τ = q·T)             (default 20)
+///     --m N            validated integration steps M         (default 10)
+///     --order N        Taylor order of the integrator        (default 4)
+///     --domain D       nn domain: interval | symbolic | affine (default symbolic)
+///     --strategy S     refinement: all | widest              (default all)
+///     --threads N      worker threads                        (default: hw)
+///     --nets DIR       network cache directory               (default ./acasxu_nets_cache)
+///     --report FILE    write the full report CSV here
+///     --quiet          suppress the per-bin summary
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <numbers>
+#include <string>
+
+#include "acasxu/controller.hpp"
+#include "acasxu/dynamics.hpp"
+#include "acasxu/scenario.hpp"
+#include "acasxu/training_pipeline.hpp"
+#include "core/report_io.hpp"
+#include "core/verifier.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
+               "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
+               "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
+               "          [--report FILE] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nncs;
+  namespace ax = nncs::acasxu;
+
+  ax::ScenarioConfig scenario;
+  scenario.num_arcs = 32;
+  scenario.num_headings = 8;
+  VerifyConfig config;
+  config.reach.control_steps = 20;
+  config.reach.integration_steps = 10;
+  config.reach.gamma = 5;
+  config.max_refinement_depth = 1;
+  config.split_dims = ax::split_dimensions();
+  config.threads = env_threads();
+  int taylor_order = 4;
+  NnDomain domain = NnDomain::kSymbolic;
+  std::string nets_dir = "acasxu_nets_cache";
+  std::string report_path;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage(argv[0]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--arcs")) {
+      scenario.num_arcs = static_cast<std::size_t>(std::atoi(need_value(i)));
+    } else if (!std::strcmp(arg, "--headings")) {
+      scenario.num_headings = static_cast<std::size_t>(std::atoi(need_value(i)));
+    } else if (!std::strcmp(arg, "--depth")) {
+      config.max_refinement_depth = std::atoi(need_value(i));
+    } else if (!std::strcmp(arg, "--gamma")) {
+      config.reach.gamma = static_cast<std::size_t>(std::atoi(need_value(i)));
+    } else if (!std::strcmp(arg, "--steps")) {
+      config.reach.control_steps = std::atoi(need_value(i));
+    } else if (!std::strcmp(arg, "--m")) {
+      config.reach.integration_steps = std::atoi(need_value(i));
+    } else if (!std::strcmp(arg, "--order")) {
+      taylor_order = std::atoi(need_value(i));
+    } else if (!std::strcmp(arg, "--domain")) {
+      const std::string v = need_value(i);
+      if (v == "interval") {
+        domain = NnDomain::kInterval;
+      } else if (v == "symbolic") {
+        domain = NnDomain::kSymbolic;
+      } else if (v == "affine") {
+        domain = NnDomain::kAffine;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(arg, "--strategy")) {
+      const std::string v = need_value(i);
+      if (v == "all") {
+        config.split_strategy = SplitStrategy::kAllDims;
+      } else if (v == "widest") {
+        config.split_strategy = SplitStrategy::kWidestDim;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(arg, "--threads")) {
+      config.threads = static_cast<std::size_t>(std::atoi(need_value(i)));
+    } else if (!std::strcmp(arg, "--nets")) {
+      nets_dir = need_value(i);
+    } else if (!std::strcmp(arg, "--report")) {
+      report_path = need_value(i);
+    } else if (!std::strcmp(arg, "--quiet")) {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("nncs_acasxu_cli: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d\n",
+              scenario.num_arcs, scenario.num_headings, config.max_refinement_depth,
+              config.reach.gamma, config.reach.control_steps, config.reach.integration_steps,
+              taylor_order);
+
+  const ax::TrainingConfig training;
+  const auto networks = ax::ensure_networks(nets_dir, training);
+  const auto plant = ax::make_dynamics();
+  const auto controller = ax::make_controller(networks, domain);
+  const ClosedLoop system{plant.get(), controller.get(), 1.0};
+
+  const auto cells = ax::make_initial_cells(scenario);
+  const auto error = ax::make_error_region(scenario);
+  const auto target = ax::make_target_region(scenario);
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{taylor_order, {}});
+  config.reach.integrator = &integrator;
+
+  const Verifier verifier(system, error, target);
+  const VerifyReport report = verifier.verify(ax::to_symbolic_set(cells), config);
+
+  std::printf("coverage %.2f %%  (%zu proved / %zu leaves, %.1f s)\n",
+              report.coverage_percent, report.proved_leaves, report.leaves.size(),
+              report.seconds);
+
+  if (!quiet) {
+    // Per-bearing summary like Fig 9b.
+    constexpr int kBins = 8;
+    constexpr double kPi = std::numbers::pi;
+    std::map<int, std::pair<int, int>> bins;  // bin -> (proved, total)
+    for (const auto& leaf : report.leaves) {
+      const double mid = 0.5 * (cells[leaf.root_index].bearing_lo +
+                                cells[leaf.root_index].bearing_hi);
+      int bin = static_cast<int>((mid + kPi) / (2.0 * kPi) * kBins);
+      bin = std::min(std::max(bin, 0), kBins - 1);
+      auto& [proved, total] = bins[bin];
+      proved += leaf.outcome == ReachOutcome::kProvedSafe ? 1 : 0;
+      ++total;
+    }
+    Table table("per_bearing", {"bin", "bearing_mid_rad", "proved_leaves", "total_leaves"});
+    for (const auto& [bin, counts] : bins) {
+      const double mid = -kPi + (bin + 0.5) * 2.0 * kPi / kBins;
+      table.add_row({std::to_string(bin), Table::num(mid, 3),
+                     std::to_string(counts.first), std::to_string(counts.second)});
+    }
+    table.print(std::cout);
+  }
+
+  if (!report_path.empty()) {
+    save_report(report, std::filesystem::path{report_path});
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}
