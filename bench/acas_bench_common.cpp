@@ -7,6 +7,9 @@
 #include <sstream>
 
 #include "core/monitor.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "util/env.hpp"
 #include "util/stopwatch.hpp"
 
@@ -58,6 +61,14 @@ bool load_cache(const std::filesystem::path& path, AcasRunResult& out) {
   for (auto& n : out.proved_by_depth) {
     hs >> n;
   }
+  // Aggregate-stats columns were appended later; caches written before then
+  // simply leave `aggregate` zeroed.
+  ReachStats& agg = out.aggregate;
+  if (!(hs >> agg.steps_executed >> agg.joins >> agg.max_states >> agg.total_simulations >>
+        agg.seconds >> agg.phases.simulate_seconds >> agg.phases.controller_seconds >>
+        agg.phases.join_seconds >> agg.phases.check_seconds)) {
+    agg = ReachStats{};
+  }
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) {
@@ -84,6 +95,11 @@ void save_cache(const std::filesystem::path& path, const AcasRunResult& result) 
   for (const auto n : result.proved_by_depth) {
     outf << ' ' << n;
   }
+  const ReachStats& agg = result.aggregate;
+  outf << ' ' << agg.steps_executed << ' ' << agg.joins << ' ' << agg.max_states << ' '
+       << agg.total_simulations << ' ' << agg.seconds << ' ' << agg.phases.simulate_seconds
+       << ' ' << agg.phases.controller_seconds << ' ' << agg.phases.join_seconds << ' '
+       << agg.phases.check_seconds;
   outf << '\n';
   for (const auto& rec : result.leaves) {
     outf << rec.root_index << ' ' << rec.depth << ' ' << rec.bearing_lo << ' '
@@ -134,6 +150,7 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   result.coverage_percent = report.coverage_percent;
   result.proved_by_depth = report.proved_by_depth;
   result.wall_seconds = watch.seconds();
+  result.aggregate = aggregate_stats(report);
   result.leaves.reserve(report.leaves.size());
   for (const auto& leaf : report.leaves) {
     CellRecord rec;
@@ -148,6 +165,56 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   }
   save_cache(path, result);
   return result;
+}
+
+void write_bench_report(const std::string& bench_name, const AcasRunResult& run) {
+  const std::filesystem::path path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[acas-bench] cannot write %s\n", path.string().c_str());
+    return;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "nncs-bench v1");
+  w.field("bench", bench_name);
+  w.key("provenance");
+  obs::write_provenance(w, obs::collect_provenance());
+  w.key("scale")
+      .begin_object()
+      .field("num_arcs", static_cast<std::uint64_t>(run.num_arcs))
+      .field("num_headings", static_cast<std::uint64_t>(run.num_headings))
+      .field("max_depth", static_cast<std::int64_t>(run.max_depth))
+      .end_object();
+  w.key("results")
+      .begin_object()
+      .field("root_cells", static_cast<std::uint64_t>(run.root_cells))
+      .field("coverage_percent", run.coverage_percent)
+      .field("wall_seconds", run.wall_seconds)
+      .field("leaves", static_cast<std::uint64_t>(run.leaves.size()))
+      .end_object();
+  const ReachStats& agg = run.aggregate;
+  w.key("aggregate_stats")
+      .begin_object()
+      .field("steps_executed", static_cast<std::int64_t>(agg.steps_executed))
+      .field("joins", static_cast<std::uint64_t>(agg.joins))
+      .field("max_states", static_cast<std::uint64_t>(agg.max_states))
+      .field("total_simulations", static_cast<std::uint64_t>(agg.total_simulations))
+      .field("cell_seconds", agg.seconds);
+  w.key("phases")
+      .begin_object()
+      .field("simulate_s", agg.phases.simulate_seconds)
+      .field("controller_s", agg.phases.controller_seconds)
+      .field("join_s", agg.phases.join_seconds)
+      .field("check_s", agg.phases.check_seconds)
+      .field("total_s", agg.phases.total())
+      .end_object();
+  w.end_object();
+  w.key("metrics");
+  obs::write_metrics(w, obs::Registry::instance().snapshot());
+  w.end_object();
+  out << '\n';
+  std::printf("[acas-bench] perf report written to %s\n", path.string().c_str());
 }
 
 }  // namespace nncs::bench

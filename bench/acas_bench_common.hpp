@@ -51,6 +51,9 @@ struct AcasRunResult {
   std::size_t num_arcs = 0;
   std::size_t num_headings = 0;
   int max_depth = 0;
+  /// Summed per-cell stats (aggregate_stats over the report); caches written
+  /// before the stats columns existed load with this left zeroed.
+  ReachStats aggregate;
 };
 
 /// Run the standard §7 verification at the given partition scale, or load
@@ -67,5 +70,12 @@ struct BenchScale {
   int max_depth;
 };
 BenchScale default_scale();
+
+/// Write `BENCH_<bench_name>.json` in the working directory: a
+/// machine-readable perf artifact ("nncs-bench v1") with build/config
+/// provenance, the run's headline numbers, per-phase timings and the current
+/// telemetry-metrics snapshot. Every figure bench calls this so CI can diff
+/// perf across commits without scraping stdout.
+void write_bench_report(const std::string& bench_name, const AcasRunResult& run);
 
 }  // namespace nncs::bench

@@ -69,5 +69,6 @@ int main() {
               run.coverage_percent);
   std::printf("expected shape: green at the bearing extremes (intruder behind / "
               "overtaking) and red concentrated in the crossing geometries.\n");
+  write_bench_report("fig9a_safety_map", run);
   return 0;
 }

@@ -71,5 +71,6 @@ int main() {
   std::printf(
       "paper shape: coverage dips (~75%% vs 85-100%%) and time peaks (~50x) in the\n"
       "crossing-geometry bins relative to head-on/overtaking bins.\n");
+  write_bench_report("fig9b_coverage_time", run);
   return 0;
 }

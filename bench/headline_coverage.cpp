@@ -44,5 +44,6 @@ int main() {
       "\nNote: absolute coverage is below the paper's 90.3%% because the bench-scale\n"
       "cells are orders of magnitude coarser (scale up with NNCS_SCALE to approach\n"
       "paper granularity; coverage rises monotonically with partition resolution).\n");
+  write_bench_report("headline_coverage", run);
   return 0;
 }

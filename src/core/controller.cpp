@@ -6,6 +6,7 @@
 
 #include "nn/argmin_analysis.hpp"
 #include "nn/interval_prop.hpp"
+#include "obs/span.hpp"
 
 namespace nncs {
 
@@ -97,13 +98,16 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
   if (domain_ == NnDomain::kSymbolic) {
     const SymbolicBounds bounds = symbolic_propagate(net, result.network_input);
     result.network_output = bounds.output_box;
+    NNCS_SPAN("nn.argmin");
     result.commands = post_->eval_abstract(bounds);
   } else if (domain_ == NnDomain::kAffine) {
     const ZonotopeBounds bounds = zonotope_propagate(net, result.network_input);
     result.network_output = bounds.output_box;
+    NNCS_SPAN("nn.argmin");
     result.commands = post_->eval_abstract(bounds);
   } else {
     result.network_output = interval_propagate(net, result.network_input);
+    NNCS_SPAN("nn.argmin");
     result.commands = post_->eval_abstract(result.network_output);
   }
   if (result.commands.empty()) {

@@ -58,7 +58,9 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
                           const ReachConfig& config) {
   validate(system, initial, config);
   Stopwatch watch;
+  Stopwatch phase_watch;
   ReachResult result;
+  PhaseBreakdown& phases = result.stats.phases;
   const CommandSet& commands = system.controller->commands();
 
   SymbolicSet current = initial;
@@ -66,12 +68,15 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
 
   for (int j = 0; j < config.control_steps; ++j) {
     // Algorithm 2: keep |R̃_j| <= Γ.
+    phase_watch.reset();
     const ResizeStats rs = resize(current, config.gamma);
+    phases.join_seconds += phase_watch.lap();
     result.stats.joins += rs.joins;
     result.stats.max_states = std::max(result.stats.max_states, current.size());
     result.sampled_sets.push_back(current);
 
     // Drop states absorbed by the target set (they are not propagated).
+    phase_watch.reset();
     SymbolicSet active;
     active.reserve(current.size());
     for (const auto& state : current) {
@@ -79,6 +84,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         active.push_back(state);
       }
     }
+    phases.check_seconds += phase_watch.lap();
     if (active.empty()) {
       terminated = true;
       break;
@@ -88,8 +94,10 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
     std::vector<Flowpipe> step_pipes;
     for (const auto& state : active) {
       // Unsound discrete-instant baseline: check E only at t = jT.
+      phase_watch.reset();
       if (!config.check_intermediate &&
           error.possibly_intersects(state.box, state.command)) {
+        phases.check_seconds += phase_watch.lap();
         result.outcome = ReachOutcome::kErrorReachable;
         result.offending = state;
         result.offending_step = j;
@@ -97,11 +105,13 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         result.stats.seconds = watch.seconds();
         return result;
       }
+      phases.check_seconds += phase_watch.lap();
 
       // Algorithm 1: validated simulation over one control period.
       Flowpipe pipe = simulate(*system.plant, *config.integrator, state.box,
                                commands[state.command], system.period,
                                config.integration_steps);
+      phases.simulate_seconds += phase_watch.lap();
       ++result.stats.total_simulations;
       if (!pipe.ok) {
         result.outcome = ReachOutcome::kEnclosureFailure;
@@ -117,6 +127,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
       if (config.check_intermediate) {
         for (const Box& segment : pipe.segments) {
           if (error.possibly_intersects(segment, state.command)) {
+            phases.check_seconds += phase_watch.lap();
             result.outcome = ReachOutcome::kErrorReachable;
             result.offending = SymbolicState{segment, state.command};
             result.offending_step = j;
@@ -126,10 +137,12 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
           }
         }
       }
+      phases.check_seconds += phase_watch.lap();
 
       // Abstract controller execution on the *sampled* box [s_j]
       // (the command computed at step j is applied from (j+1)T on).
       const AbstractControlStep ctrl = system.controller->step_abstract(state.box, state.command);
+      phases.controller_seconds += phase_watch.lap();
       for (const std::size_t cmd : ctrl.commands) {
         next.push_back(SymbolicState{pipe.end, cmd});
       }
@@ -149,10 +162,12 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
     // by T (termination detected exactly at t = qT).
     result.sampled_sets.push_back(current);
     terminated = true;
+    phase_watch.reset();
     for (const auto& state : current) {
       // The discrete-instant baseline must also check the final samples.
       if (!config.check_intermediate &&
           error.possibly_intersects(state.box, state.command)) {
+        phases.check_seconds += phase_watch.lap();
         result.outcome = ReachOutcome::kErrorReachable;
         result.offending = state;
         result.offending_step = config.control_steps;
@@ -163,6 +178,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         terminated = false;
       }
     }
+    phases.check_seconds += phase_watch.lap();
   }
 
   result.outcome = terminated ? ReachOutcome::kProvedSafe : ReachOutcome::kHorizonExhausted;

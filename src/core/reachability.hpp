@@ -58,12 +58,39 @@ enum class ReachOutcome {
 
 [[nodiscard]] const char* to_string(ReachOutcome outcome);
 
+/// Where the wall time of one reach_analyze() went, phase by phase. The
+/// phases tile the analysis loop (consecutive Stopwatch laps), so their sum
+/// accounts for essentially all of `ReachStats::seconds`.
+struct PhaseBreakdown {
+  /// Algorithm 1: validated plant simulation (Picard + Taylor tightening).
+  double simulate_seconds = 0.0;
+  /// Abstract controller stepping (Pre# ∘ F# ∘ Post#).
+  double controller_seconds = 0.0;
+  /// Algorithm 2: the Γ-join resize of the symbolic set.
+  double join_seconds = 0.0;
+  /// Error/target membership checks and set bookkeeping.
+  double check_seconds = 0.0;
+
+  [[nodiscard]] double total() const {
+    return simulate_seconds + controller_seconds + join_seconds + check_seconds;
+  }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other) {
+    simulate_seconds += other.simulate_seconds;
+    controller_seconds += other.controller_seconds;
+    join_seconds += other.join_seconds;
+    check_seconds += other.check_seconds;
+    return *this;
+  }
+};
+
 struct ReachStats {
   int steps_executed = 0;
   std::size_t joins = 0;
   std::size_t max_states = 0;
   std::size_t total_simulations = 0;
   double seconds = 0.0;
+  PhaseBreakdown phases;
 };
 
 struct ReachResult {

@@ -10,7 +10,11 @@ namespace nncs {
 
 namespace {
 
-constexpr const char* kMagic = "nncs-report v1";
+constexpr const char* kMagicV1 = "nncs-report v1";
+constexpr const char* kMagicV2 = "nncs-report v2";
+/// Fixed leaf-row columns before the box lo/hi pairs.
+constexpr std::size_t kLeafFixedV1 = 5;
+constexpr std::size_t kLeafFixedV2 = 13;
 
 ReachOutcome outcome_from_string(const std::string& name) {
   for (const ReachOutcome o :
@@ -53,15 +57,19 @@ std::size_t parse_size(const std::string& s) {
 
 void save_report(const VerifyReport& report, std::ostream& os) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << kMagic << ',' << report.root_cells << ',' << report.coverage_percent << ','
+  os << kMagicV2 << ',' << report.root_cells << ',' << report.coverage_percent << ','
      << report.seconds;
   for (const auto n : report.proved_by_depth) {
     os << ',' << n;
   }
   os << '\n';
   for (const auto& leaf : report.leaves) {
+    const ReachStats& s = leaf.stats;
     os << leaf.root_index << ',' << leaf.depth << ',' << to_string(leaf.outcome) << ','
-       << leaf.stats.seconds << ',' << leaf.initial.command;
+       << s.seconds << ',' << s.steps_executed << ',' << s.joins << ',' << s.max_states << ','
+       << s.total_simulations << ',' << s.phases.simulate_seconds << ','
+       << s.phases.controller_seconds << ',' << s.phases.join_seconds << ','
+       << s.phases.check_seconds << ',' << leaf.initial.command;
     for (const auto& iv : leaf.initial.box.intervals()) {
       os << ',' << iv.lo() << ',' << iv.hi();
     }
@@ -86,9 +94,11 @@ VerifyReport load_report(std::istream& is) {
     throw ReportFormatError("report_io: empty input");
   }
   const auto head_cells = split_csv(header);
-  if (head_cells.size() < 4 || head_cells[0] != kMagic) {
-    throw ReportFormatError("report_io: bad header (not a nncs-report v1 file)");
+  if (head_cells.size() < 4 || (head_cells[0] != kMagicV1 && head_cells[0] != kMagicV2)) {
+    throw ReportFormatError("report_io: bad header (not a nncs-report v1/v2 file)");
   }
+  const bool v2 = head_cells[0] == kMagicV2;
+  const std::size_t fixed = v2 ? kLeafFixedV2 : kLeafFixedV1;
   VerifyReport report;
   report.root_cells = parse_size(head_cells[1]);
   report.coverage_percent = parse_double(head_cells[2]);
@@ -102,7 +112,7 @@ VerifyReport load_report(std::istream& is) {
       continue;
     }
     const auto cells = split_csv(line);
-    if (cells.size() < 5 || (cells.size() - 5) % 2 != 0) {
+    if (cells.size() < fixed || (cells.size() - fixed) % 2 != 0) {
       throw ReportFormatError("report_io: malformed leaf row");
     }
     CellOutcome leaf;
@@ -110,9 +120,19 @@ VerifyReport load_report(std::istream& is) {
     leaf.depth = static_cast<int>(parse_size(cells[1]));
     leaf.outcome = outcome_from_string(cells[2]);
     leaf.stats.seconds = parse_double(cells[3]);
-    leaf.initial.command = parse_size(cells[4]);
+    if (v2) {
+      leaf.stats.steps_executed = static_cast<int>(parse_size(cells[4]));
+      leaf.stats.joins = parse_size(cells[5]);
+      leaf.stats.max_states = parse_size(cells[6]);
+      leaf.stats.total_simulations = parse_size(cells[7]);
+      leaf.stats.phases.simulate_seconds = parse_double(cells[8]);
+      leaf.stats.phases.controller_seconds = parse_double(cells[9]);
+      leaf.stats.phases.join_seconds = parse_double(cells[10]);
+      leaf.stats.phases.check_seconds = parse_double(cells[11]);
+    }
+    leaf.initial.command = parse_size(cells[fixed - 1]);
     std::vector<Interval> dims;
-    for (std::size_t i = 5; i < cells.size(); i += 2) {
+    for (std::size_t i = fixed; i < cells.size(); i += 2) {
       dims.emplace_back(parse_double(cells[i]), parse_double(cells[i + 1]));
     }
     leaf.initial.box = Box{std::move(dims)};

@@ -11,11 +11,16 @@ namespace nncs {
 /// be archived, diffed and re-plotted without re-running (the figure
 /// benches cache their runs through this).
 ///
-/// Format: one header line
-///   `nncs-report v1,<root_cells>,<coverage>,<seconds>,<d0>,<d1>,...`
+/// Current format (`nncs-report v2`): one header line
+///   `nncs-report v2,<root_cells>,<coverage>,<seconds>,<d0>,<d1>,...`
 /// then one line per terminal leaf:
-///   root_index,depth,outcome,seconds,command,box_lo0,box_hi0,...
+///   root_index,depth,outcome,seconds,steps,joins,max_states,
+///   total_simulations,simulate_s,controller_s,join_s,check_s,
+///   command,box_lo0,box_hi0,...
 /// Values round-trip via max_digits10.
+///
+/// v1 files (no per-phase stats columns — the leaf row jumps from `seconds`
+/// straight to `command`) are still loaded; the missing stats read as zero.
 
 void save_report(const VerifyReport& report, std::ostream& os);
 void save_report(const VerifyReport& report, const std::filesystem::path& path);

@@ -1,0 +1,97 @@
+#include "core/run_report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+
+namespace nncs {
+
+namespace {
+
+const char* strategy_name(SplitStrategy s) {
+  return s == SplitStrategy::kAllDims ? "all-dims" : "widest-dim";
+}
+
+void write_phases(obs::JsonWriter& w, const PhaseBreakdown& phases) {
+  w.begin_object()
+      .field("simulate_s", phases.simulate_seconds)
+      .field("controller_s", phases.controller_seconds)
+      .field("join_s", phases.join_seconds)
+      .field("check_s", phases.check_seconds)
+      .field("total_s", phases.total())
+      .end_object();
+}
+
+}  // namespace
+
+void write_run_report(std::ostream& os, std::string_view label, const VerifyReport& report,
+                      const VerifyConfig& config) {
+  const ReachStats aggregate = aggregate_stats(report);
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "nncs-run v1");
+  w.field("label", label);
+  w.key("provenance");
+  obs::write_provenance(w, obs::collect_provenance());
+
+  w.key("config").begin_object();
+  w.field("control_steps", static_cast<std::int64_t>(config.reach.control_steps))
+      .field("integration_steps", static_cast<std::int64_t>(config.reach.integration_steps))
+      .field("gamma", static_cast<std::uint64_t>(config.reach.gamma))
+      .field("check_intermediate", config.reach.check_intermediate)
+      .field("max_refinement_depth", static_cast<std::int64_t>(config.max_refinement_depth))
+      .field("split_strategy", strategy_name(config.split_strategy))
+      .field("threads", static_cast<std::uint64_t>(config.threads));
+  w.key("split_dims").begin_array();
+  for (const std::size_t d : config.split_dims) {
+    w.value(static_cast<std::uint64_t>(d));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("results").begin_object();
+  w.field("root_cells", static_cast<std::uint64_t>(report.root_cells))
+      .field("coverage_percent", report.coverage_percent)
+      .field("proved_leaves", static_cast<std::uint64_t>(report.proved_leaves))
+      .field("failed_leaves", static_cast<std::uint64_t>(report.failed_leaves))
+      .field("wall_seconds", report.seconds);
+  w.key("proved_by_depth").begin_array();
+  for (const std::size_t n : report.proved_by_depth) {
+    w.value(static_cast<std::uint64_t>(n));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("aggregate_stats").begin_object();
+  w.field("steps_executed", static_cast<std::int64_t>(aggregate.steps_executed))
+      .field("joins", static_cast<std::uint64_t>(aggregate.joins))
+      .field("max_states", static_cast<std::uint64_t>(aggregate.max_states))
+      .field("total_simulations", static_cast<std::uint64_t>(aggregate.total_simulations))
+      .field("cell_seconds", aggregate.seconds);
+  w.key("phases");
+  write_phases(w, aggregate.phases);
+  w.end_object();
+
+  w.key("metrics");
+  obs::write_metrics(w, obs::Registry::instance().snapshot());
+  w.end_object();
+  os << '\n';
+  if (!os) {
+    throw std::runtime_error("run_report: stream failure while writing report");
+  }
+}
+
+void write_run_report(const std::filesystem::path& path, std::string_view label,
+                      const VerifyReport& report, const VerifyConfig& config) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("run_report: cannot open for writing: " + path.string());
+  }
+  write_run_report(out, label, report, config);
+}
+
+}  // namespace nncs

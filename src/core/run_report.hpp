@@ -1,0 +1,22 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string_view>
+
+#include "core/verifier.hpp"
+
+namespace nncs {
+
+/// Machine-readable verification run report (`nncs-run v1` JSON): the
+/// VerifyReport summary with the aggregated per-phase stats, the full
+/// Reach/Verify configuration, build/config provenance (git SHA,
+/// NNCS_SCALE, thread count) and a snapshot of every telemetry counter and
+/// histogram. This is the artifact perf PRs diff against; benches write the
+/// sibling `BENCH_<name>.json` through the same schema helpers.
+void write_run_report(std::ostream& os, std::string_view label, const VerifyReport& report,
+                      const VerifyConfig& config);
+void write_run_report(const std::filesystem::path& path, std::string_view label,
+                      const VerifyReport& report, const VerifyConfig& config);
+
+}  // namespace nncs

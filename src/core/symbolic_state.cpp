@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace nncs {
 
 double distance(const SymbolicState& a, const SymbolicState& b) {
@@ -24,6 +26,7 @@ ResizeStats resize(SymbolicSet& set, std::size_t gamma) {
   if (gamma == 0) {
     throw std::invalid_argument("resize: gamma must be >= 1");
   }
+  NNCS_SPAN("join.resize");
   while (set.size() > gamma) {
     // Find the closest same-command pair across all command groups (the
     // per-group distance matrices of Algorithm 2, flattened into one scan).
@@ -52,6 +55,7 @@ ResizeStats resize(SymbolicSet& set, std::size_t gamma) {
     set.erase(set.begin() + static_cast<std::ptrdiff_t>(best_j));
     ++stats.joins;
   }
+  NNCS_COUNT("join.joins", stats.joins);
   return stats;
 }
 

@@ -1,9 +1,11 @@
 #include "core/verifier.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -82,6 +84,8 @@ VerifyReport Verifier::verify(const SymbolicSet& initial_cells, const VerifyConf
   };
   // self-reference for recursive submission
   std::function<void(Job)> analyze = [&](Job job) {
+    NNCS_SPAN_TAGGED("cell.analyze", "root", static_cast<std::int64_t>(job.root_index), "depth",
+                     job.depth);
     ReachResult res = reach_analyze(*system_, SymbolicSet{job.cell}, *error_, *target_,
                                     config.reach);
     const bool proved = res.outcome == ReachOutcome::kProvedSafe;
@@ -122,6 +126,19 @@ VerifyReport Verifier::verify(const SymbolicSet& initial_cells, const VerifyConf
       coverage_percent(report.root_cells, report.proved_by_depth, split_factor);
   report.seconds = watch.seconds();
   return report;
+}
+
+ReachStats aggregate_stats(const VerifyReport& report) {
+  ReachStats total;
+  for (const auto& leaf : report.leaves) {
+    total.steps_executed += leaf.stats.steps_executed;
+    total.joins += leaf.stats.joins;
+    total.max_states = std::max(total.max_states, leaf.stats.max_states);
+    total.total_simulations += leaf.stats.total_simulations;
+    total.seconds += leaf.stats.seconds;
+    total.phases += leaf.stats.phases;
+  }
+  return total;
 }
 
 }  // namespace nncs

@@ -84,4 +84,11 @@ class Verifier {
 double coverage_percent(std::size_t root_cells, const std::vector<std::size_t>& proved_by_depth,
                         std::size_t split_factor);
 
+/// Fold the per-leaf ReachStats of a report into one aggregate:
+/// counters/seconds/phases sum, `max_states` takes the maximum. `seconds`
+/// is total analysis CPU across leaves (≥ report.seconds wall time when
+/// running multi-threaded). Note leaves are terminal cells only — the
+/// analyses of interior (refined-away) cells are not part of the report.
+ReachStats aggregate_stats(const VerifyReport& report);
+
 }  // namespace nncs

@@ -5,6 +5,7 @@
 #include "nn/argmin_analysis.hpp"
 #include "nn/interval_prop.hpp"
 #include "nn/symbolic_prop.hpp"
+#include "obs/metrics.hpp"
 
 namespace nncs {
 
@@ -41,6 +42,7 @@ SplitVerifyResult verify_rec(const Network& net, const Box& input, const OutputP
     return result;
   }
 
+  NNCS_COUNT("nn.splits", 1);
   const auto [lower, upper] = input.bisect(input.widest_dim());
   const SplitVerifyResult left = verify_rec(net, lower, property, config, depth + 1);
   result.boxes_explored += left.boxes_explored;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace nncs {
 
 namespace {
@@ -43,6 +45,7 @@ SymbolicBounds symbolic_propagate(const Network& net, const Box& input) {
   if (input.dim() != net.input_dim()) {
     throw std::invalid_argument("symbolic_propagate: input dimension mismatch");
   }
+  NNCS_SPAN("nn.symbolic_prop");
   const std::size_t n_in = input.dim();
 
   // Input layer: identity bounds.
@@ -91,6 +94,7 @@ SymbolicBounds symbolic_propagate(const Network& net, const Box& input) {
         next[r] = NeuronBounds{std::move(lower), std::move(upper)};
       } else {
         // Unstable: chord upper bound, α·lower lower bound.
+        NNCS_COUNT("nn.relaxed_relus", 1);
         const double lambda = u / (u - l);
         const double mu = -lambda * l;
         AffineForm relaxed_upper = zero_form(n_in);

@@ -1,0 +1,358 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace nncs::obs {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(&os) {
+  *os_ << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) {
+      *os_ << ',';
+    }
+    wrote_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  wrote_element_.push_back(false);
+  *os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  wrote_element_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  wrote_element_.push_back(false);
+  *os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  wrote_element_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma_if_needed();
+  *os_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  *os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string_view{v}); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  *os_ << "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto it = object.find(k);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      default:
+        if (consume_literal("true")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::kBool;
+          v.boolean = true;
+          return v;
+        }
+        if (consume_literal("false")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::kBool;
+          return v;
+        }
+        if (consume_literal("null")) {
+          return JsonValue{};
+        }
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [ptr, ec] =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc{} || ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // ASCII only; wider code points degrade to '?' (good enough for
+          // validation and tests).
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(k), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace nncs::obs

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nncs::obs {
+
+/// Escape a string for embedding in a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view raw);
+
+/// Minimal streaming JSON writer used by the trace recorder and the run
+/// reports. Callers drive the nesting; the writer handles commas, quoting
+/// and escaping. Numbers are emitted with max_digits10 so reports
+/// round-trip.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or begin_*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(k).value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void comma_if_needed();
+  std::ostream* os_;
+  /// One entry per open scope: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+/// Tiny recursive-descent JSON parser, enough to validate trace files and
+/// read reports back in tests/tools. Not a general-purpose library: numbers
+/// become double, no \u surrogate pairs, inputs are trusted sizes.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member or nullptr.
+  [[nodiscard]] const JsonValue* find(const std::string& k) const;
+};
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a complete JSON document; throws JsonParseError on malformed input
+/// (including trailing garbage).
+JsonValue json_parse(std::string_view text);
+
+}  // namespace nncs::obs

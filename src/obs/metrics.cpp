@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace nncs::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t thread_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record_ns_unchecked(std::uint64_t ns) {
+  Shard& shard = shards_[detail::shard_index()];
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
+  shard.bins[std::min(bucket, kBuckets - 1)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = shard.min_ns.load(std::memory_order_relaxed);
+  while (ns < seen && !shard.min_ns.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = shard.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen && !shard.max_ns.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+/// Upper bound of log2 bucket i in seconds (bucket i holds bit-width-i ns).
+double bucket_upper_seconds(std::size_t bucket) {
+  return static_cast<double>((bucket >= 64 ? UINT64_MAX : (std::uint64_t{1} << bucket) - 1)) *
+         1e-9;
+}
+
+double quantile_from_bins(const std::array<std::uint64_t, Histogram::kBuckets>& bins,
+                          std::uint64_t count, double q) {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    seen += bins[i];
+    if (static_cast<double>(seen) >= rank) {
+      return bucket_upper_seconds(i);
+    }
+  }
+  return bucket_upper_seconds(bins.size() - 1);
+}
+
+}  // namespace
+
+HistogramSnapshot Histogram::snapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  std::array<std::uint64_t, kBuckets> merged{};
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = UINT64_MAX;
+  std::uint64_t max_ns = 0;
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      merged[i] += shard.bins[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+    min_ns = std::min(min_ns, shard.min_ns.load(std::memory_order_relaxed));
+    max_ns = std::max(max_ns, shard.max_ns.load(std::memory_order_relaxed));
+  }
+  snap.total_seconds = static_cast<double>(sum_ns) * 1e-9;
+  snap.min_seconds = snap.count == 0 ? 0.0 : static_cast<double>(min_ns) * 1e-9;
+  snap.max_seconds = static_cast<double>(max_ns) * 1e-9;
+  snap.p50_seconds = quantile_from_bins(merged, snap.count, 0.50);
+  snap.p90_seconds = quantile_from_bins(merged, snap.count, 0.90);
+  snap.p99_seconds = quantile_from_bins(merged, snap.count, 0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (auto& bin : shard.bins) {
+      bin.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+    shard.min_ns.store(UINT64_MAX, std::memory_order_relaxed);
+    shard.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // unique_ptr so references handed out stay valid across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Impl& Registry::impl() {
+  static Impl i;
+  return i;
+}
+
+const Registry::Impl& Registry::impl() const {
+  return const_cast<Registry*>(this)->impl();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  snap.histograms.reserve(i.histograms.size());
+  for (const auto& [name, histogram] : i.histograms) {
+    snap.histograms.push_back(histogram->snapshot(name));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  for (auto& [name, counter] : i.counters) {
+    counter->reset();
+  }
+  for (auto& [name, histogram] : i.histograms) {
+    histogram->reset();
+  }
+}
+
+}  // namespace nncs::obs

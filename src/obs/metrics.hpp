@@ -1,0 +1,154 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nncs::obs {
+
+/// Process-wide telemetry switch. Every instrumentation site is a single
+/// relaxed load + branch on this flag when telemetry is off, so the
+/// verification hot paths pay no measurable tax in the default build.
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+/// Number of per-thread shards in counters and histograms. Threads hash onto
+/// shards by a process-wide registration order, so up to kShards writers
+/// proceed without sharing a cache line; merge happens on read.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+/// Stable small id for the calling thread (0, 1, 2, ... in first-use order).
+std::size_t thread_index();
+inline std::size_t shard_index() { return thread_index() % kMetricShards; }
+}  // namespace detail
+
+/// Monotonically increasing named counter. `add()` is wait-free: one relaxed
+/// fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) {
+      return;
+    }
+    add_unchecked(n);
+  }
+
+  /// Same without the enabled() gate, for sites that already checked it.
+  void add_unchecked(std::uint64_t n = 1) {
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merge-on-read total across all shards.
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  /// Approximate quantiles from the log2 buckets (upper bucket bounds).
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Latency histogram over log2-spaced nanosecond buckets (bucket i holds
+/// durations with bit width i, i.e. [2^(i-1), 2^i) ns). Recording touches
+/// only the calling thread's shard.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_ns(std::uint64_t ns) {
+    if (!enabled()) {
+      return;
+    }
+    record_ns_unchecked(ns);
+  }
+
+  void record_ns_unchecked(std::uint64_t ns);
+
+  /// Merged view across shards; `name` is copied into the snapshot.
+  [[nodiscard]] HistogramSnapshot snapshot(std::string name) const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> bins{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> min_ns{UINT64_MAX};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name, 0 when absent (test/report convenience).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Histogram by name, nullptr when absent.
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Process-wide registry of named counters and histograms. Registration
+/// (name lookup) takes a mutex; instrument sites cache the returned
+/// reference (see NNCS_COUNT / NNCS_SPAN) so the hot path never locks.
+/// Metrics live for the lifetime of the process — references stay valid.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Merged snapshot of every registered metric, sorted by name.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero all metrics (names stay registered; references stay valid).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl();
+  [[nodiscard]] const Impl& impl() const;
+};
+
+/// Counting macro for hot paths: one relaxed load + branch when telemetry is
+/// off; the registry lookup runs once per call site.
+#define NNCS_COUNT(name, n)                                            \
+  do {                                                                 \
+    if (::nncs::obs::enabled()) {                                      \
+      static ::nncs::obs::Counter& nncs_count_site =                   \
+          ::nncs::obs::Registry::instance().counter(name);             \
+      nncs_count_site.add_unchecked(n);                                \
+    }                                                                  \
+  } while (0)
+
+}  // namespace nncs::obs

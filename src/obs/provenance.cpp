@@ -1,0 +1,66 @@
+#include "obs/provenance.hpp"
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+#ifndef NNCS_GIT_SHA
+#define NNCS_GIT_SHA "unknown"
+#endif
+#ifndef NNCS_BUILD_TYPE
+#define NNCS_BUILD_TYPE "unknown"
+#endif
+
+namespace nncs::obs {
+
+Provenance collect_provenance() {
+  Provenance p;
+  p.git_sha = NNCS_GIT_SHA;
+  p.build_type = NNCS_BUILD_TYPE;
+#if defined(__VERSION__)
+  p.compiler = __VERSION__;
+#else
+  p.compiler = "unknown";
+#endif
+  p.nncs_scale = env_scale();
+  p.nncs_threads = env_threads();
+  p.telemetry_enabled = enabled();
+  return p;
+}
+
+void write_provenance(JsonWriter& w, const Provenance& p) {
+  w.begin_object()
+      .field("git_sha", p.git_sha)
+      .field("build_type", p.build_type)
+      .field("compiler", p.compiler)
+      .field("nncs_scale", p.nncs_scale)
+      .field("nncs_threads", static_cast<std::uint64_t>(p.nncs_threads))
+      .field("telemetry_enabled", p.telemetry_enabled)
+      .end_object();
+}
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : snap.counters) {
+    w.field(c.name, c.value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name)
+        .begin_object()
+        .field("count", h.count)
+        .field("total_s", h.total_seconds)
+        .field("min_s", h.min_seconds)
+        .field("max_s", h.max_seconds)
+        .field("p50_s", h.p50_seconds)
+        .field("p90_s", h.p90_seconds)
+        .field("p99_s", h.p99_seconds)
+        .end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace nncs::obs

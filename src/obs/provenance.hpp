@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nncs::obs {
+
+class JsonWriter;
+struct MetricsSnapshot;
+
+/// Build/run provenance stamped into every run report and bench artifact so
+/// perf numbers can be attributed to a commit and environment.
+struct Provenance {
+  std::string git_sha;     ///< compiled in at configure time ("unknown" outside git)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string compiler;    ///< compiler id/version string
+  double nncs_scale = 1.0;
+  std::size_t nncs_threads = 1;
+  bool telemetry_enabled = false;
+};
+
+/// Collect the current process provenance (env knobs read at call time).
+Provenance collect_provenance();
+
+/// Emit as a JSON object value (caller positions the writer at a value
+/// slot, e.g. after key("provenance")).
+void write_provenance(JsonWriter& w, const Provenance& p);
+
+/// Emit a metrics snapshot as a JSON object value with "counters" (name →
+/// value) and "histograms" (name → {count, total_s, min_s, max_s, p50_s,
+/// p90_s, p99_s}) members.
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snap);
+
+}  // namespace nncs::obs

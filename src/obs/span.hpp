@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nncs::obs {
+
+/// Static per-call-site state for a span: the (literal) name plus the
+/// lazily-resolved histogram, so a live span never takes the registry lock.
+class SpanSite {
+ public:
+  explicit constexpr SpanSite(const char* name) : name_(name) {}
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+  Histogram& histogram() {
+    Histogram* h = histogram_.load(std::memory_order_acquire);
+    if (h == nullptr) {
+      h = &Registry::instance().histogram(name_);
+      histogram_.store(h, std::memory_order_release);
+    }
+    return *h;
+  }
+
+ private:
+  const char* name_;
+  std::atomic<Histogram*> histogram_{nullptr};
+};
+
+/// Scoped phase timer. When telemetry is disabled, construction is a single
+/// relaxed load + branch and destruction a branch on a plain bool — no
+/// clock reads, no allocation. When enabled it records the duration into
+/// the site's histogram and, if a trace is being collected, appends a span
+/// to the calling worker's track.
+class Span {
+ public:
+  explicit Span(SpanSite& site) : site_(&site), live_(enabled()) {
+    if (live_) {
+      start_ns_ = TraceRecorder::now_ns();
+    }
+  }
+
+  /// Tagged span: up to two integer args ("root"/"depth"-style); keys must
+  /// be string literals.
+  Span(SpanSite& site, const char* key0, std::int64_t val0, const char* key1 = nullptr,
+       std::int64_t val1 = 0)
+      : Span(site) {
+    key0_ = key0;
+    val0_ = val0;
+    key1_ = key1;
+    val1_ = val1;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (live_) {
+      finish();
+    }
+  }
+
+ private:
+  void finish() {
+    const std::uint64_t end_ns = TraceRecorder::now_ns();
+    const std::uint64_t dur = end_ns - start_ns_;
+    site_->histogram().record_ns_unchecked(dur);
+    TraceRecorder& recorder = TraceRecorder::instance();
+    if (recorder.active()) {
+      recorder.record(TraceEvent{site_->name(), start_ns_, dur, key0_, val0_, key1_, val1_});
+    }
+  }
+
+  SpanSite* site_;
+  bool live_;
+  std::uint64_t start_ns_ = 0;
+  const char* key0_ = nullptr;
+  std::int64_t val0_ = 0;
+  const char* key1_ = nullptr;
+  std::int64_t val1_ = 0;
+};
+
+#define NNCS_OBS_CONCAT2(a, b) a##b
+#define NNCS_OBS_CONCAT(a, b) NNCS_OBS_CONCAT2(a, b)
+
+/// Time the enclosing scope as phase `name` (a string literal).
+#define NNCS_SPAN(name)                                                          \
+  static ::nncs::obs::SpanSite NNCS_OBS_CONCAT(nncs_span_site_, __LINE__){name}; \
+  ::nncs::obs::Span NNCS_OBS_CONCAT(nncs_span_, __LINE__) {                      \
+    NNCS_OBS_CONCAT(nncs_span_site_, __LINE__)                                   \
+  }
+
+/// Same, tagged with up to two integer args (shown in the trace viewer).
+#define NNCS_SPAN_TAGGED(name, ...)                                              \
+  static ::nncs::obs::SpanSite NNCS_OBS_CONCAT(nncs_span_site_, __LINE__){name}; \
+  ::nncs::obs::Span NNCS_OBS_CONCAT(nncs_span_, __LINE__) {                      \
+    NNCS_OBS_CONCAT(nncs_span_site_, __LINE__), __VA_ARGS__                      \
+  }
+
+}  // namespace nncs::obs

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace nncs {
 
 namespace {
@@ -28,6 +30,8 @@ std::optional<Box> picard_enclosure(const Dynamics& f, const Box& s0, const Vec&
   if (h <= 0.0 || !std::isfinite(h)) {
     throw std::invalid_argument("picard_enclosure: step size must be positive and finite");
   }
+  NNCS_SPAN("picard");
+  NNCS_COUNT("ode.enclosure_attempts", 1);
   // First candidate: one application of the operator to s0 itself, inflated.
   Box candidate = picard_image(f, s0, u, h, s0).inflated(1e-12, config.initial_inflation);
   double escalation = config.growth;
@@ -39,6 +43,7 @@ std::optional<Box> picard_enclosure(const Dynamics& f, const Box& s0, const Vec&
       // image is itself a valid enclosure.
       return image;
     }
+    NNCS_COUNT("ode.picard_retries", 1);
     // Violation-driven inflation: grow each bound past its observed
     // violation by an escalating factor. Proportional growth converges in a
     // couple of iterations when h·L < 1 and avoids the knife-edge chase a
@@ -57,6 +62,7 @@ std::optional<Box> picard_enclosure(const Dynamics& f, const Box& s0, const Vec&
     candidate = Box{std::move(grown)};
     escalation *= config.growth;
   }
+  NNCS_COUNT("ode.picard_failures", 1);
   return std::nullopt;
 }
 
@@ -103,6 +109,7 @@ std::optional<ValidatedStep> TaylorIntegrator::step(const Dynamics& f, const Box
   if (!apriori) {
     return std::nullopt;
   }
+  NNCS_SPAN("taylor_tighten");
   const Box& b = *apriori;
   const std::size_t order = static_cast<std::size_t>(config_.order);
   // Prefix coefficients seeded at the tight initial box; the order-K
@@ -187,7 +194,10 @@ Flowpipe simulate(const Dynamics& f, const ValidatedIntegrator& integrator, cons
     const double t_next = i == steps ? period : period * static_cast<double>(i) / steps;
     const double h = t_next - t_prev;
     const auto step = integrator.step(f, current, u, h);
+    NNCS_COUNT("ode.substeps", 1);
     if (!step) {
+      // Step-size rejection: no enclosure at this h, the flowpipe aborts.
+      NNCS_COUNT("ode.step_rejections", 1);
       pipe.ok = false;
       pipe.end = current;
       return pipe;

@@ -1,5 +1,7 @@
 #include "util/env.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -33,6 +35,28 @@ std::size_t env_threads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+bool env_flag(const char* name, bool default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') {
+    return default_value;
+  }
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  return default_value;
+}
+
+std::string env_path(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? std::string{} : std::string{raw};
 }
 
 }  // namespace nncs

@@ -20,6 +20,16 @@ class Stopwatch {
   /// Elapsed wall time in milliseconds.
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
+  /// Elapsed seconds since construction or the last reset()/lap(), then
+  /// restart timing from now. Consecutive laps tile the wall time with no
+  /// gap, which is what the per-phase accumulators rely on.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return elapsed;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -22,12 +22,22 @@ VerifyReport sample_report() {
   a.depth = 0;
   a.outcome = ReachOutcome::kProvedSafe;
   a.stats.seconds = 0.5;
+  a.stats.steps_executed = 30;
+  a.stats.joins = 7;
+  a.stats.max_states = 5;
+  a.stats.total_simulations = 60;
+  a.stats.phases.simulate_seconds = 0.25;
+  a.stats.phases.controller_seconds = 0.125;
+  a.stats.phases.join_seconds = 0.0625;
+  a.stats.phases.check_seconds = 0.03125;
   a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3};
   CellOutcome b;
   b.root_index = 2;
   b.depth = 1;
   b.outcome = ReachOutcome::kErrorReachable;
   b.stats.seconds = 1.25;
+  b.stats.steps_executed = 12;
+  b.stats.total_simulations = 24;
   b.initial = SymbolicState{Box{Interval{5.0, 6.0}, Interval{-0.5, 0.5}}, 0};
   report.leaves = {a, b};
   report.proved_leaves = 1;
@@ -52,9 +62,52 @@ TEST(ReportIo, RoundTripPreservesEverything) {
     EXPECT_EQ(loaded.leaves[i].depth, original.leaves[i].depth);
     EXPECT_EQ(loaded.leaves[i].outcome, original.leaves[i].outcome);
     EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.seconds, original.leaves[i].stats.seconds);
+    EXPECT_EQ(loaded.leaves[i].stats.steps_executed, original.leaves[i].stats.steps_executed);
+    EXPECT_EQ(loaded.leaves[i].stats.joins, original.leaves[i].stats.joins);
+    EXPECT_EQ(loaded.leaves[i].stats.max_states, original.leaves[i].stats.max_states);
+    EXPECT_EQ(loaded.leaves[i].stats.total_simulations,
+              original.leaves[i].stats.total_simulations);
+    EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.phases.simulate_seconds,
+                     original.leaves[i].stats.phases.simulate_seconds);
+    EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.phases.controller_seconds,
+                     original.leaves[i].stats.phases.controller_seconds);
+    EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.phases.join_seconds,
+                     original.leaves[i].stats.phases.join_seconds);
+    EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.phases.check_seconds,
+                     original.leaves[i].stats.phases.check_seconds);
     EXPECT_EQ(loaded.leaves[i].initial.command, original.leaves[i].initial.command);
     EXPECT_EQ(loaded.leaves[i].initial.box, original.leaves[i].initial.box);
   }
+}
+
+TEST(ReportIo, SavesCurrentFormatVersion) {
+  std::stringstream buffer;
+  save_report(sample_report(), buffer);
+  EXPECT_EQ(buffer.str().rfind("nncs-report v2,", 0), 0u);
+}
+
+TEST(ReportIo, LoadsLegacyV1WithZeroStats) {
+  // A v1 file has only 5 fixed leaf columns: root,depth,outcome,seconds,
+  // command — no per-phase stats. They must load with stats zeroed.
+  std::stringstream buffer(
+      "nncs-report v1,2,50,3.5,1\n"
+      "0,0,proved-safe,0.75,3,-1,2,0.5,0.625\n"
+      "1,0,error-reachable,1.5,0,4,5,-0.25,0.25\n");
+  const VerifyReport loaded = load_report(buffer);
+  ASSERT_EQ(loaded.leaves.size(), 2u);
+  EXPECT_EQ(loaded.root_cells, 2u);
+  EXPECT_EQ(loaded.proved_leaves, 1u);
+  const CellOutcome& leaf = loaded.leaves[0];
+  EXPECT_DOUBLE_EQ(leaf.stats.seconds, 0.75);
+  EXPECT_EQ(leaf.stats.steps_executed, 0);
+  EXPECT_EQ(leaf.stats.joins, 0u);
+  EXPECT_EQ(leaf.stats.max_states, 0u);
+  EXPECT_EQ(leaf.stats.total_simulations, 0u);
+  EXPECT_DOUBLE_EQ(leaf.stats.phases.total(), 0.0);
+  EXPECT_EQ(leaf.initial.command, 3u);
+  ASSERT_EQ(leaf.initial.box.dim(), 2u);
+  EXPECT_DOUBLE_EQ(leaf.initial.box[0].lo(), -1.0);
+  EXPECT_DOUBLE_EQ(leaf.initial.box[1].hi(), 0.625);
 }
 
 TEST(ReportIo, FileRoundTrip) {

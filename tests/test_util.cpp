@@ -107,6 +107,34 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_NEAR(watch.millis(), watch.seconds() * 1e3, 1e3);
 }
 
+TEST(Stopwatch, LapReturnsElapsedAndRestarts) {
+  Stopwatch watch;
+  const double lap1 = watch.lap();
+  EXPECT_GE(lap1, 0.0);
+  // lap() restarts the watch, so the reading right after is near zero.
+  EXPECT_LT(watch.seconds(), lap1 + 0.5);
+  const double lap2 = watch.lap();
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_LT(lap2, 1.0);
+}
+
+TEST(Stopwatch, LapsTileTotalElapsedTime) {
+  Stopwatch total;
+  Stopwatch watch;
+  double sum = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    volatile double sink = 0.0;
+    for (int k = 0; k < 10000; ++k) {
+      sink = sink + static_cast<double>(k);
+    }
+    sum += watch.lap();
+  }
+  // Consecutive laps tile wall time with no gap: their sum matches a
+  // parallel watch over the whole run (loose bound, CI machines jitter).
+  EXPECT_LE(sum, total.seconds() + 1e-6);
+  EXPECT_GE(sum, 0.0);
+}
+
 TEST(Table, RendersAlignedAndCsv) {
   Table table("demo", {"name", "value"});
   table.add_row({"alpha", "1"});
@@ -149,6 +177,34 @@ TEST(Env, ScaleDefaultsAndParsing) {
   setenv("NNCS_SCALE", "-1", 1);
   EXPECT_DOUBLE_EQ(env_scale(), 1.0);
   unsetenv("NNCS_SCALE");
+}
+
+TEST(Env, FlagParsesCommonSpellings) {
+  unsetenv("NNCS_TRACE");
+  EXPECT_FALSE(env_flag("NNCS_TRACE"));
+  EXPECT_TRUE(env_flag("NNCS_TRACE", true));
+  for (const char* truthy : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    setenv("NNCS_TRACE", truthy, 1);
+    EXPECT_TRUE(env_flag("NNCS_TRACE")) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "no", "off", "OFF"}) {
+    setenv("NNCS_TRACE", falsy, 1);
+    EXPECT_FALSE(env_flag("NNCS_TRACE", true)) << falsy;
+  }
+  setenv("NNCS_TRACE", "garbage", 1);
+  EXPECT_FALSE(env_flag("NNCS_TRACE"));
+  EXPECT_TRUE(env_flag("NNCS_TRACE", true));
+  unsetenv("NNCS_TRACE");
+}
+
+TEST(Env, PathReturnsRawValueOrEmpty) {
+  unsetenv("NNCS_METRICS_OUT");
+  EXPECT_TRUE(env_path("NNCS_METRICS_OUT").empty());
+  setenv("NNCS_METRICS_OUT", "/tmp/out.json", 1);
+  EXPECT_EQ(env_path("NNCS_METRICS_OUT"), "/tmp/out.json");
+  setenv("NNCS_METRICS_OUT", "", 1);
+  EXPECT_TRUE(env_path("NNCS_METRICS_OUT").empty());
+  unsetenv("NNCS_METRICS_OUT");
 }
 
 TEST(Env, ThreadsDefaultsAndParsing) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "closed_loop_fixtures.hpp"
@@ -137,6 +138,56 @@ TEST(Verifier, BookkeepingIsConsistent) {
     proved_sum += n;
   }
   EXPECT_EQ(proved_sum, report.proved_leaves);
+}
+
+TEST(Verifier, AggregateStatsSumsLeaves) {
+  BrakeSetup s;
+  SymbolicSet cells;
+  for (int i = 0; i < 3; ++i) {
+    cells.push_back({Box{Interval{5.0 + i, 6.0 + i}, Interval{-1.0, 1.0}}, 0});
+  }
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
+  const ReachStats agg = aggregate_stats(report);
+
+  int steps = 0;
+  std::size_t joins = 0;
+  std::size_t max_states = 0;
+  std::size_t sims = 0;
+  double seconds = 0.0;
+  double phase_total = 0.0;
+  for (const auto& leaf : report.leaves) {
+    steps += leaf.stats.steps_executed;
+    joins += leaf.stats.joins;
+    max_states = std::max(max_states, leaf.stats.max_states);
+    sims += leaf.stats.total_simulations;
+    seconds += leaf.stats.seconds;
+    phase_total += leaf.stats.phases.total();
+  }
+  EXPECT_EQ(agg.steps_executed, steps);
+  EXPECT_EQ(agg.joins, joins);
+  EXPECT_EQ(agg.max_states, max_states);
+  EXPECT_EQ(agg.total_simulations, sims);
+  EXPECT_DOUBLE_EQ(agg.seconds, seconds);
+  EXPECT_DOUBLE_EQ(agg.phases.total(), phase_total);
+
+  // The run did real work, and the phase tiling never exceeds the per-cell
+  // wall time it decomposes.
+  EXPECT_GT(agg.steps_executed, 0);
+  EXPECT_GT(agg.total_simulations, 0u);
+  EXPECT_GE(agg.phases.simulate_seconds, 0.0);
+  EXPECT_GE(agg.phases.controller_seconds, 0.0);
+  EXPECT_GE(agg.phases.join_seconds, 0.0);
+  EXPECT_GE(agg.phases.check_seconds, 0.0);
+  EXPECT_LE(agg.phases.total(), agg.seconds * 1.5 + 0.1);
+}
+
+TEST(Verifier, AggregateStatsOfEmptyReportIsZero) {
+  const ReachStats agg = aggregate_stats(VerifyReport{});
+  EXPECT_EQ(agg.steps_executed, 0);
+  EXPECT_EQ(agg.joins, 0u);
+  EXPECT_EQ(agg.total_simulations, 0u);
+  EXPECT_DOUBLE_EQ(agg.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(agg.phases.total(), 0.0);
 }
 
 TEST(Verifier, WidestDimStrategyBisectsOneDimensionPerLevel) {

@@ -15,10 +15,18 @@
 ///     --threads N      worker threads                        (default: hw)
 ///     --nets DIR       network cache directory               (default ./acasxu_nets_cache)
 ///     --report FILE    write the full report CSV here
+///     --trace-out FILE write a chrome://tracing / Perfetto trace-event JSON
+///                      (default from NNCS_TRACE_OUT)
+///     --metrics-out FILE write the machine-readable run report JSON
+///                      (metrics + provenance; default from NNCS_METRICS_OUT)
 ///     --quiet          suppress the per-bin summary
+///
+/// Telemetry is enabled automatically when either output is requested, or
+/// explicitly with NNCS_TRACE=1.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <numbers>
@@ -29,7 +37,10 @@
 #include "acasxu/scenario.hpp"
 #include "acasxu/training_pipeline.hpp"
 #include "core/report_io.hpp"
+#include "core/run_report.hpp"
 #include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
@@ -40,7 +51,7 @@ namespace {
                "usage: %s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
                "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
                "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
-               "          [--report FILE] [--quiet]\n",
+               "          [--report FILE] [--trace-out FILE] [--metrics-out FILE] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +76,8 @@ int main(int argc, char** argv) {
   NnDomain domain = NnDomain::kSymbolic;
   std::string nets_dir = "acasxu_nets_cache";
   std::string report_path;
+  std::string trace_path = env_path("NNCS_TRACE_OUT");
+  std::string metrics_path = env_path("NNCS_METRICS_OUT");
   bool quiet = false;
 
   auto need_value = [&](int& i) -> const char* {
@@ -115,11 +128,30 @@ int main(int argc, char** argv) {
       nets_dir = need_value(i);
     } else if (!std::strcmp(arg, "--report")) {
       report_path = need_value(i);
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      trace_path = need_value(i);
+    } else if (!std::strcmp(arg, "--metrics-out")) {
+      metrics_path = need_value(i);
     } else if (!std::strcmp(arg, "--quiet")) {
       quiet = true;
     } else {
       usage(argv[0]);
     }
+  }
+
+  // Fail fast on unwritable output paths — verification can run for hours
+  // and the results would be lost at the final write otherwise.
+  for (const std::string* out : {&report_path, &trace_path, &metrics_path}) {
+    if (!out->empty() && !std::ofstream(*out)) {
+      std::fprintf(stderr, "%s: cannot open for writing: %s\n", argv[0], out->c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty() || env_flag("NNCS_TRACE")) {
+    obs::set_enabled(true);
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().start();
   }
 
   std::printf("nncs_acasxu_cli: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d\n",
@@ -141,10 +173,17 @@ int main(int argc, char** argv) {
 
   const Verifier verifier(system, error, target);
   const VerifyReport report = verifier.verify(ax::to_symbolic_set(cells), config);
+  obs::TraceRecorder::instance().stop();
 
   std::printf("coverage %.2f %%  (%zu proved / %zu leaves, %.1f s)\n",
               report.coverage_percent, report.proved_leaves, report.leaves.size(),
               report.seconds);
+  const ReachStats aggregate = aggregate_stats(report);
+  if (aggregate.phases.total() > 0.0) {
+    std::printf("phases: simulate %.2f s, controller %.2f s, join %.2f s, check %.2f s\n",
+                aggregate.phases.simulate_seconds, aggregate.phases.controller_seconds,
+                aggregate.phases.join_seconds, aggregate.phases.check_seconds);
+  }
 
   if (!quiet) {
     // Per-bearing summary like Fig 9b.
@@ -169,9 +208,34 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
+  // One failed write must not abort the others (results are irreplaceable).
+  int status = 0;
+  const auto guarded = [&status, argv](const auto& write) {
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      status = 1;
+    }
+  };
   if (!report_path.empty()) {
-    save_report(report, std::filesystem::path{report_path});
-    std::printf("report written to %s\n", report_path.c_str());
+    guarded([&] {
+      save_report(report, std::filesystem::path{report_path});
+      std::printf("report written to %s\n", report_path.c_str());
+    });
   }
-  return 0;
+  if (!trace_path.empty()) {
+    guarded([&] {
+      obs::TraceRecorder::instance().write_json(std::filesystem::path{trace_path});
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  obs::TraceRecorder::instance().event_count());
+    });
+  }
+  if (!metrics_path.empty()) {
+    guarded([&] {
+      write_run_report(std::filesystem::path{metrics_path}, "nncs_acasxu_cli", report, config);
+      std::printf("run report written to %s\n", metrics_path.c_str());
+    });
+  }
+  return status;
 }

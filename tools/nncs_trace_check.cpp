@@ -1,0 +1,121 @@
+/// Validates a trace-event JSON file written by `--trace-out` (or any
+/// chrome://tracing-compatible producer):
+///
+///   nncs_trace_check FILE [--min-spans N] [--min-tracks N]
+///
+/// Checks that the file parses as JSON, has a `traceEvents` array, and that
+/// the complete ("X" phase) events cover at least N distinct span names
+/// across at least N distinct thread tracks. Exit 0 on success, 1 on any
+/// violation — made for ctest / CI smoke checks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s FILE [--min-spans N] [--min-tracks N]\n", argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using nncs::obs::JsonValue;
+
+  std::string file;
+  std::size_t min_spans = 1;
+  std::size_t min_tracks = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--min-spans") && i + 1 < argc) {
+      min_spans = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(arg, "--min-tracks") && i + 1 < argc) {
+      min_tracks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg[0] == '-') {
+      usage(argv[0]);
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (file.empty()) {
+    usage(argv[0]);
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "nncs_trace_check: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  try {
+    root = nncs::obs::json_parse(buffer.str());
+  } catch (const nncs::obs::JsonParseError& e) {
+    std::fprintf(stderr, "nncs_trace_check: %s: invalid JSON: %s\n", file.c_str(), e.what());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "nncs_trace_check: %s: top level is not an object\n", file.c_str());
+    return 1;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "nncs_trace_check: %s: missing traceEvents array\n", file.c_str());
+    return 1;
+  }
+
+  std::set<std::string> span_names;
+  std::set<double> tids;
+  std::size_t complete_events = 0;
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) {
+      std::fprintf(stderr, "nncs_trace_check: %s: non-object trace event\n", file.c_str());
+      return 1;
+    }
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* name = e.find("name");
+    const JsonValue* tid = e.find("tid");
+    if (ph == nullptr || !ph->is_string() || name == nullptr || !name->is_string()) {
+      std::fprintf(stderr, "nncs_trace_check: %s: event missing ph/name\n", file.c_str());
+      return 1;
+    }
+    if (ph->string != "X") {
+      continue;
+    }
+    if (tid == nullptr || !tid->is_number() || e.find("ts") == nullptr ||
+        e.find("dur") == nullptr) {
+      std::fprintf(stderr, "nncs_trace_check: %s: complete event missing tid/ts/dur\n",
+                   file.c_str());
+      return 1;
+    }
+    ++complete_events;
+    span_names.insert(name->string);
+    tids.insert(tid->number);
+  }
+
+  std::printf("nncs_trace_check: %s: %zu complete events, %zu span names, %zu tracks\n",
+              file.c_str(), complete_events, span_names.size(), tids.size());
+  if (span_names.size() < min_spans) {
+    std::fprintf(stderr, "nncs_trace_check: FAIL: %zu span names < required %zu\n",
+                 span_names.size(), min_spans);
+    return 1;
+  }
+  if (tids.size() < min_tracks) {
+    std::fprintf(stderr, "nncs_trace_check: FAIL: %zu tracks < required %zu\n", tids.size(),
+                 min_tracks);
+    return 1;
+  }
+  return 0;
+}
