@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/engine.hpp"
 #include "core/monitor.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -143,8 +144,17 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   config.threads = env_threads();
 
   Stopwatch watch;
-  const Verifier verifier(system.loop, error, target);
-  const VerifyReport report = verifier.verify(acasxu::to_symbolic_set(cells), config);
+  const VerificationEngine engine(system.loop, error, target);
+  EngineConfig engine_config;
+  engine_config.verify = config;
+  engine_config.on_progress = [](const EngineProgress& p) {
+    if (p.cells_done % 64 == 0 && p.cells_done > 0) {
+      std::fprintf(stderr, "[acas-bench] %zu cells done (%zu proved), queue %zu\n",
+                   p.cells_done, p.cells_proved, p.queue_depth);
+    }
+  };
+  const VerifyReport report =
+      engine.run(acasxu::to_symbolic_set(cells), engine_config).report;
 
   result.root_cells = report.root_cells;
   result.coverage_percent = report.coverage_percent;

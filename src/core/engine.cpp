@@ -1,0 +1,336 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nncs {
+
+namespace {
+
+/// Lexicographic (lower corner, upper corner) comparison; boxes of equal
+/// dimension only (guaranteed within one run).
+int box_compare(const Box& a, const Box& b) {
+  for (std::size_t d = 0; d < a.dim() && d < b.dim(); ++d) {
+    if (a[d].lo() != b[d].lo()) {
+      return a[d].lo() < b[d].lo() ? -1 : 1;
+    }
+    if (a[d].hi() != b[d].hi()) {
+      return a[d].hi() < b[d].hi() ? -1 : 1;
+    }
+  }
+  if (a.dim() != b.dim()) {
+    return a.dim() < b.dim() ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool cell_outcome_less(const CellOutcome& a, const CellOutcome& b) {
+  if (a.root_index != b.root_index) {
+    return a.root_index < b.root_index;
+  }
+  if (a.depth != b.depth) {
+    return a.depth < b.depth;
+  }
+  const int boxes = box_compare(a.initial.box, b.initial.box);
+  if (boxes != 0) {
+    return boxes < 0;
+  }
+  return a.initial.command < b.initial.command;
+}
+
+bool verify_job_less(const VerifyJob& a, const VerifyJob& b) {
+  if (a.root_index != b.root_index) {
+    return a.root_index < b.root_index;
+  }
+  if (a.depth != b.depth) {
+    return a.depth < b.depth;
+  }
+  const int boxes = box_compare(a.cell.box, b.cell.box);
+  if (boxes != 0) {
+    return boxes < 0;
+  }
+  return a.cell.command < b.cell.command;
+}
+
+VerificationEngine::VerificationEngine(const ClosedLoop& system, const StateRegion& error,
+                                       const StateRegion& target)
+    : system_(&system), error_(&error), target_(&target) {}
+
+EngineResult VerificationEngine::run(const SymbolicSet& initial_cells, const EngineConfig& config,
+                                     RunControl* control) const {
+  EngineCheckpoint state;
+  state.root_cells = initial_cells.size();
+  state.frontier.reserve(initial_cells.size());
+  for (std::size_t i = 0; i < initial_cells.size(); ++i) {
+    state.frontier.push_back(VerifyJob{initial_cells[i], 0, i});
+  }
+  return drive(initial_cells, std::move(state), config, control);
+}
+
+EngineResult VerificationEngine::resume(const SymbolicSet& initial_cells,
+                                        const EngineCheckpoint& checkpoint,
+                                        const EngineConfig& config, RunControl* control) const {
+  if (checkpoint.root_cells != initial_cells.size()) {
+    throw std::invalid_argument(
+        "VerificationEngine::resume: checkpoint was taken from a different partition (" +
+        std::to_string(checkpoint.root_cells) + " root cells, got " +
+        std::to_string(initial_cells.size()) + ")");
+  }
+  for (const VerifyJob& job : checkpoint.frontier) {
+    if (job.root_index >= initial_cells.size() || job.depth < 0) {
+      throw std::invalid_argument("VerificationEngine::resume: corrupt frontier entry");
+    }
+  }
+  for (const CellOutcome& leaf : checkpoint.leaves) {
+    if (leaf.root_index >= initial_cells.size()) {
+      throw std::invalid_argument("VerificationEngine::resume: corrupt leaf entry");
+    }
+  }
+  return drive(initial_cells, checkpoint, config, control);
+}
+
+EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineCheckpoint state,
+                                       const EngineConfig& config, RunControl* external) const {
+  const VerifyConfig& vc = config.verify;
+  if (initial_cells.empty()) {
+    throw std::invalid_argument("VerificationEngine: no initial cells");
+  }
+  if (vc.max_refinement_depth < 0) {
+    throw std::invalid_argument("VerificationEngine: negative refinement depth");
+  }
+
+  Stopwatch watch;
+  RunControl local_control;
+  RunControl* control = external != nullptr ? external : &local_control;
+  if (config.time_budget_seconds > 0.0) {
+    control->set_time_budget(config.time_budget_seconds);
+  }
+
+  // Engine state, all guarded by `mutex`. The pending deque is the source
+  // of truth for unfinished work: pool tasks are mere tickets that pop its
+  // front, so abandoning queued tickets on stop cannot lose a job.
+  std::mutex mutex;
+  std::deque<VerifyJob> pending(state.frontier.begin(), state.frontier.end());
+  std::vector<CellOutcome> leaves = std::move(state.leaves);
+  ReachStats interior = state.interior_stats;
+  std::optional<CellOutcome> violation;
+  EngineProgress progress;
+  progress.queue_depth = pending.size();
+  progress.cells_done = leaves.size();
+  for (const CellOutcome& leaf : leaves) {
+    if (leaf.outcome == ReachOutcome::kProvedSafe) {
+      ++progress.cells_proved;
+    } else {
+      ++progress.cells_failed;
+    }
+  }
+  NNCS_GAUGE_ADD("engine.queue_depth", static_cast<std::int64_t>(pending.size()));
+
+  ThreadPool pool(vc.threads);
+
+  // Refine a failed cell into child boxes (the §7.1 all-dims scheme or the
+  // §8 widest-dim heuristic, normalized by the root cell's widths).
+  auto split_cell = [&](const VerifyJob& job) -> std::vector<Box> {
+    if (vc.split_strategy == SplitStrategy::kAllDims) {
+      return job.cell.box.split(vc.split_dims);
+    }
+    const Box& root = initial_cells[job.root_index].box;
+    const std::size_t k = vc.split_dims.size();
+    std::size_t best = vc.split_dims[static_cast<std::size_t>(job.depth) % k];
+    double best_ratio = 0.0;
+    {
+      const double root_width = root[best].width();
+      best_ratio = root_width > 0.0 ? job.cell.box[best].width() / root_width
+                                    : job.cell.box[best].width();
+    }
+    for (const std::size_t d : vc.split_dims) {
+      const double root_width = root[d].width();
+      const double ratio =
+          root_width > 0.0 ? job.cell.box[d].width() / root_width : job.cell.box[d].width();
+      if (ratio > best_ratio * 1.000001) {
+        best_ratio = ratio;
+        best = d;
+      }
+    }
+    auto [lower, upper] = job.cell.box.bisect(best);
+    return {std::move(lower), std::move(upper)};
+  };
+
+  // One ticket = "analyze the frontier's next job". Tickets and jobs stay
+  // 1:1 except on cancellation, where the surplus tickets no-op.
+  std::function<void()> ticket = [&] {
+    VerifyJob job;
+    {
+      std::lock_guard lock(mutex);
+      if (control->stopped() || pending.empty()) {
+        return;
+      }
+      job = std::move(pending.front());
+      pending.pop_front();
+      ++progress.in_flight;
+      progress.queue_depth = pending.size();
+    }
+    NNCS_GAUGE_ADD("engine.queue_depth", -1);
+    NNCS_GAUGE_ADD("engine.cells_in_flight", 1);
+
+    ReachResult res;
+    {
+      NNCS_SPAN_TAGGED("cell.analyze", "root", static_cast<std::int64_t>(job.root_index),
+                       "depth", job.depth);
+      res = reach_analyze(*system_, SymbolicSet{job.cell}, *error_, *target_, vc.reach, control);
+    }
+    NNCS_GAUGE_ADD("engine.cells_in_flight", -1);
+
+    if (res.outcome == ReachOutcome::kCancelled) {
+      // Deadline hit mid-cell: the job is incomplete, so it returns to the
+      // frontier (and is re-run from scratch on resume — its partial stats
+      // are dropped to keep resumed reports exact).
+      NNCS_COUNT("engine.cells_cancelled", 1);
+      NNCS_GAUGE_ADD("engine.queue_depth", 1);
+      std::lock_guard lock(mutex);
+      --progress.in_flight;
+      pending.push_front(std::move(job));
+      progress.queue_depth = pending.size();
+      return;
+    }
+
+    const bool proved = res.outcome == ReachOutcome::kProvedSafe;
+    const bool terminal_violation =
+        config.stop_on_violation && res.outcome == ReachOutcome::kErrorReachable;
+    if (!proved && !terminal_violation && job.depth < vc.max_refinement_depth &&
+        !vc.split_dims.empty()) {
+      std::vector<Box> children = split_cell(job);
+      NNCS_COUNT("engine.cells_refined", 1);
+      NNCS_GAUGE_ADD("engine.queue_depth", static_cast<std::int64_t>(children.size()));
+      std::size_t spawned = 0;
+      {
+        std::lock_guard lock(mutex);
+        --progress.in_flight;
+        interior += res.stats;
+        ++progress.cells_refined;
+        for (Box& child : children) {
+          pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command},
+                                      job.depth + 1, job.root_index});
+        }
+        spawned = children.size();
+        progress.queue_depth = pending.size();
+        if (config.on_progress) {
+          config.on_progress(progress);
+        }
+      }
+      for (std::size_t c = 0; c < spawned; ++c) {
+        pool.submit(ticket);
+      }
+      return;
+    }
+
+    CellOutcome outcome;
+    outcome.initial = std::move(job.cell);
+    outcome.depth = job.depth;
+    outcome.root_index = job.root_index;
+    outcome.outcome = res.outcome;
+    outcome.stats = res.stats;
+    NNCS_COUNT("engine.cells_done", 1);
+    if (proved) {
+      NNCS_COUNT("engine.cells_proved", 1);
+    } else {
+      NNCS_COUNT("engine.cells_failed", 1);
+    }
+    bool fire_stop = false;
+    {
+      std::lock_guard lock(mutex);
+      --progress.in_flight;
+      ++progress.cells_done;
+      if (proved) {
+        ++progress.cells_proved;
+      } else {
+        ++progress.cells_failed;
+      }
+      if (terminal_violation && !violation.has_value()) {
+        violation = outcome;
+        fire_stop = true;
+      }
+      leaves.push_back(std::move(outcome));
+      if (config.on_progress) {
+        config.on_progress(progress);
+      }
+    }
+    if (fire_stop) {
+      // Early exit: no new work starts, queued tickets are dropped, cells
+      // already running finish (and may report further violations, but
+      // only the first is recorded as THE violation).
+      control->request_stop();
+      pool.request_drain();
+    }
+  };
+
+  {
+    const std::size_t initial_jobs = pending.size();
+    for (std::size_t i = 0; i < initial_jobs; ++i) {
+      pool.submit(ticket);
+    }
+  }
+  pool.wait_idle();
+  // Workers are quiescent past this point; the state is ours again.
+
+  // Return the gauge to its pre-run level: jobs abandoned to the frontier
+  // are no longer queued anywhere once the run object is gone.
+  NNCS_GAUGE_ADD("engine.queue_depth", -static_cast<std::int64_t>(pending.size()));
+
+  EngineResult result;
+  std::sort(leaves.begin(), leaves.end(), cell_outcome_less);
+
+  VerifyReport& report = result.report;
+  report.root_cells = initial_cells.size();
+  report.leaves = std::move(leaves);
+  report.interior_stats = interior;
+  int depth_levels = vc.max_refinement_depth + 1;
+  for (const CellOutcome& leaf : report.leaves) {
+    depth_levels = std::max(depth_levels, leaf.depth + 1);
+  }
+  report.proved_by_depth.assign(static_cast<std::size_t>(depth_levels), 0);
+  for (const CellOutcome& leaf : report.leaves) {
+    if (leaf.outcome == ReachOutcome::kProvedSafe) {
+      ++report.proved_leaves;
+      ++report.proved_by_depth[static_cast<std::size_t>(leaf.depth)];
+    } else {
+      ++report.failed_leaves;
+    }
+  }
+  const std::size_t split_factor = vc.split_strategy == SplitStrategy::kAllDims
+                                       ? std::size_t{1} << vc.split_dims.size()
+                                       : 2;
+  report.coverage_percent =
+      coverage_percent(report.root_cells, report.proved_by_depth, split_factor);
+  report.seconds = watch.seconds();
+
+  result.violation = std::move(violation);
+  if (result.violation.has_value()) {
+    result.stop_reason = EngineStopReason::kViolation;
+  } else if (!pending.empty()) {
+    result.stop_reason = EngineStopReason::kStopped;
+  } else {
+    result.stop_reason = EngineStopReason::kComplete;
+  }
+  result.checkpoint.root_cells = report.root_cells;
+  result.checkpoint.interior_stats = interior;
+  if (!pending.empty()) {
+    result.checkpoint.leaves = report.leaves;
+    result.checkpoint.frontier.assign(pending.begin(), pending.end());
+    std::sort(result.checkpoint.frontier.begin(), result.checkpoint.frontier.end(),
+              verify_job_less);
+  }
+  return result;
+}
+
+}  // namespace nncs

@@ -17,8 +17,20 @@ const char* to_string(ReachOutcome outcome) {
       return "horizon-exhausted";
     case ReachOutcome::kEnclosureFailure:
       return "enclosure-failure";
+    case ReachOutcome::kCancelled:
+      return "cancelled";
   }
   return "?";
+}
+
+ReachStats& ReachStats::operator+=(const ReachStats& other) {
+  steps_executed += other.steps_executed;
+  joins += other.joins;
+  max_states = std::max(max_states, other.max_states);
+  total_simulations += other.total_simulations;
+  seconds += other.seconds;
+  phases += other.phases;
+  return *this;
 }
 
 namespace {
@@ -55,7 +67,7 @@ void validate(const ClosedLoop& system, const SymbolicSet& initial, const ReachC
 
 ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
                           const StateRegion& error, const StateRegion& target,
-                          const ReachConfig& config) {
+                          const ReachConfig& config, const RunControl* control) {
   validate(system, initial, config);
   Stopwatch watch;
   Stopwatch phase_watch;
@@ -67,6 +79,14 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
   bool terminated = false;
 
   for (int j = 0; j < config.control_steps; ++j) {
+    // Cancellation point: one poll per control step bounds the latency of a
+    // stop/deadline by a single period's worth of work.
+    if (control != nullptr && control->stopped()) {
+      result.outcome = ReachOutcome::kCancelled;
+      result.stats.steps_executed = j;
+      result.stats.seconds = watch.seconds();
+      return result;
+    }
     // Algorithm 2: keep |R̃_j| <= Γ.
     phase_watch.reset();
     const ResizeStats rs = resize(current, config.gamma);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/run_control.hpp"
 #include "core/specs.hpp"
 #include "core/symbolic_state.hpp"
 #include "ode/dynamics.hpp"
@@ -54,6 +55,10 @@ enum class ReachOutcome {
   kHorizonExhausted,
   /// Validated simulation could not produce an enclosure.
   kEnclosureFailure,
+  /// The analysis was cut short by its RunControl (stop request, SIGINT or
+  /// deadline) before reaching a verdict. Not a terminal verdict: the cell
+  /// goes back to the engine's frontier and is re-analyzed on resume.
+  kCancelled,
 };
 
 [[nodiscard]] const char* to_string(ReachOutcome outcome);
@@ -91,6 +96,9 @@ struct ReachStats {
   std::size_t total_simulations = 0;
   double seconds = 0.0;
   PhaseBreakdown phases;
+
+  /// Fold `other` in: counters and seconds sum, `max_states` takes the max.
+  ReachStats& operator+=(const ReachStats& other);
 };
 
 struct ReachResult {
@@ -113,8 +121,12 @@ struct ReachResult {
 /// abstract controller step, joining states beyond Γ (Algorithm 2),
 /// dropping states absorbed by the target set and checking every enclosure
 /// against the error set.
+///
+/// When `control` is non-null it is polled between control steps; a stopped
+/// control cuts the analysis short with `kCancelled` (partial stats filled,
+/// no verdict).
 ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
                           const StateRegion& error, const StateRegion& target,
-                          const ReachConfig& config);
+                          const ReachConfig& config, const RunControl* control = nullptr);
 
 }  // namespace nncs

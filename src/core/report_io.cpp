@@ -1,5 +1,8 @@
 #include "core/report_io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -12,6 +15,7 @@ namespace {
 
 constexpr const char* kMagicV1 = "nncs-report v1";
 constexpr const char* kMagicV2 = "nncs-report v2";
+constexpr const char* kMagicCheckpoint = "nncs-checkpoint v1";
 /// Fixed leaf-row columns before the box lo/hi pairs.
 constexpr std::size_t kLeafFixedV1 = 5;
 constexpr std::size_t kLeafFixedV2 = 13;
@@ -19,7 +23,8 @@ constexpr std::size_t kLeafFixedV2 = 13;
 ReachOutcome outcome_from_string(const std::string& name) {
   for (const ReachOutcome o :
        {ReachOutcome::kProvedSafe, ReachOutcome::kErrorReachable,
-        ReachOutcome::kHorizonExhausted, ReachOutcome::kEnclosureFailure}) {
+        ReachOutcome::kHorizonExhausted, ReachOutcome::kEnclosureFailure,
+        ReachOutcome::kCancelled}) {
     if (name == to_string(o)) {
       return o;
     }
@@ -38,11 +43,18 @@ std::vector<std::string> split_csv(const std::string& line) {
 }
 
 double parse_double(const std::string& s) {
-  try {
-    return std::stod(s);
-  } catch (const std::exception&) {
+  // Not std::stod: it throws out_of_range on underflow to subnormal, and
+  // box bounds near zero legitimately round-trip through subnormal values.
+  // strtod returns the correctly rounded subnormal (flagging ERANGE, which
+  // only matters together with an overflow to ±HUGE_VAL).
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' ||
+      (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))) {
     throw ReportFormatError("report_io: expected a number, got '" + s + "'");
   }
+  return v;
 }
 
 std::size_t parse_size(const std::string& s) {
@@ -51,6 +63,75 @@ std::size_t parse_size(const std::string& s) {
   } catch (const std::exception&) {
     throw ReportFormatError("report_io: expected a count, got '" + s + "'");
   }
+}
+
+void write_leaf_row(std::ostream& os, const CellOutcome& leaf) {
+  const ReachStats& s = leaf.stats;
+  os << leaf.root_index << ',' << leaf.depth << ',' << to_string(leaf.outcome) << ','
+     << s.seconds << ',' << s.steps_executed << ',' << s.joins << ',' << s.max_states << ','
+     << s.total_simulations << ',' << s.phases.simulate_seconds << ','
+     << s.phases.controller_seconds << ',' << s.phases.join_seconds << ','
+     << s.phases.check_seconds << ',' << leaf.initial.command;
+  for (const auto& iv : leaf.initial.box.intervals()) {
+    os << ',' << iv.lo() << ',' << iv.hi();
+  }
+  os << '\n';
+}
+
+Box parse_box(const std::vector<std::string>& cells, std::size_t first) {
+  std::vector<Interval> dims;
+  dims.reserve((cells.size() - first) / 2);
+  for (std::size_t i = first; i < cells.size(); i += 2) {
+    dims.emplace_back(parse_double(cells[i]), parse_double(cells[i + 1]));
+  }
+  return Box{std::move(dims)};
+}
+
+CellOutcome parse_leaf_row(const std::string& line, bool v2) {
+  const std::size_t fixed = v2 ? kLeafFixedV2 : kLeafFixedV1;
+  const auto cells = split_csv(line);
+  if (cells.size() < fixed || (cells.size() - fixed) % 2 != 0) {
+    throw ReportFormatError("report_io: malformed leaf row");
+  }
+  CellOutcome leaf;
+  leaf.root_index = parse_size(cells[0]);
+  leaf.depth = static_cast<int>(parse_size(cells[1]));
+  leaf.outcome = outcome_from_string(cells[2]);
+  leaf.stats.seconds = parse_double(cells[3]);
+  if (v2) {
+    leaf.stats.steps_executed = static_cast<int>(parse_size(cells[4]));
+    leaf.stats.joins = parse_size(cells[5]);
+    leaf.stats.max_states = parse_size(cells[6]);
+    leaf.stats.total_simulations = parse_size(cells[7]);
+    leaf.stats.phases.simulate_seconds = parse_double(cells[8]);
+    leaf.stats.phases.controller_seconds = parse_double(cells[9]);
+    leaf.stats.phases.join_seconds = parse_double(cells[10]);
+    leaf.stats.phases.check_seconds = parse_double(cells[11]);
+  }
+  leaf.initial.command = parse_size(cells[fixed - 1]);
+  leaf.initial.box = parse_box(cells, fixed);
+  return leaf;
+}
+
+std::string read_line_or_throw(std::istream& is, const char* what) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      return line;
+    }
+  }
+  throw ReportFormatError(std::string("report_io: truncated checkpoint (expected ") + what +
+                          ")");
+}
+
+/// Parse a `<tag>,<count>` section header.
+std::size_t parse_section(const std::string& line, const char* tag) {
+  const auto cells = split_csv(line);
+  if (cells.size() != 2 || cells[0] != tag) {
+    throw ReportFormatError("report_io: expected '" + std::string(tag) +
+                            ",<count>' section, got '" + line + "'");
+  }
+  return parse_size(cells[1]);
 }
 
 }  // namespace
@@ -64,16 +145,7 @@ void save_report(const VerifyReport& report, std::ostream& os) {
   }
   os << '\n';
   for (const auto& leaf : report.leaves) {
-    const ReachStats& s = leaf.stats;
-    os << leaf.root_index << ',' << leaf.depth << ',' << to_string(leaf.outcome) << ','
-       << s.seconds << ',' << s.steps_executed << ',' << s.joins << ',' << s.max_states << ','
-       << s.total_simulations << ',' << s.phases.simulate_seconds << ','
-       << s.phases.controller_seconds << ',' << s.phases.join_seconds << ','
-       << s.phases.check_seconds << ',' << leaf.initial.command;
-    for (const auto& iv : leaf.initial.box.intervals()) {
-      os << ',' << iv.lo() << ',' << iv.hi();
-    }
-    os << '\n';
+    write_leaf_row(os, leaf);
   }
   if (!os) {
     throw std::runtime_error("report_io: stream failure while writing report");
@@ -98,7 +170,6 @@ VerifyReport load_report(std::istream& is) {
     throw ReportFormatError("report_io: bad header (not a nncs-report v1/v2 file)");
   }
   const bool v2 = head_cells[0] == kMagicV2;
-  const std::size_t fixed = v2 ? kLeafFixedV2 : kLeafFixedV1;
   VerifyReport report;
   report.root_cells = parse_size(head_cells[1]);
   report.coverage_percent = parse_double(head_cells[2]);
@@ -111,31 +182,7 @@ VerifyReport load_report(std::istream& is) {
     if (line.empty()) {
       continue;
     }
-    const auto cells = split_csv(line);
-    if (cells.size() < fixed || (cells.size() - fixed) % 2 != 0) {
-      throw ReportFormatError("report_io: malformed leaf row");
-    }
-    CellOutcome leaf;
-    leaf.root_index = parse_size(cells[0]);
-    leaf.depth = static_cast<int>(parse_size(cells[1]));
-    leaf.outcome = outcome_from_string(cells[2]);
-    leaf.stats.seconds = parse_double(cells[3]);
-    if (v2) {
-      leaf.stats.steps_executed = static_cast<int>(parse_size(cells[4]));
-      leaf.stats.joins = parse_size(cells[5]);
-      leaf.stats.max_states = parse_size(cells[6]);
-      leaf.stats.total_simulations = parse_size(cells[7]);
-      leaf.stats.phases.simulate_seconds = parse_double(cells[8]);
-      leaf.stats.phases.controller_seconds = parse_double(cells[9]);
-      leaf.stats.phases.join_seconds = parse_double(cells[10]);
-      leaf.stats.phases.check_seconds = parse_double(cells[11]);
-    }
-    leaf.initial.command = parse_size(cells[fixed - 1]);
-    std::vector<Interval> dims;
-    for (std::size_t i = fixed; i < cells.size(); i += 2) {
-      dims.emplace_back(parse_double(cells[i]), parse_double(cells[i + 1]));
-    }
-    leaf.initial.box = Box{std::move(dims)};
+    CellOutcome leaf = parse_leaf_row(line, v2);
     if (leaf.outcome == ReachOutcome::kProvedSafe) {
       ++report.proved_leaves;
     } else {
@@ -152,6 +199,99 @@ VerifyReport load_report(const std::filesystem::path& path) {
     throw std::runtime_error("report_io: cannot open for reading: " + path.string());
   }
   return load_report(in);
+}
+
+void save_checkpoint(const EngineCheckpoint& checkpoint, std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagicCheckpoint << ',' << checkpoint.root_cells << '\n';
+  const ReachStats& s = checkpoint.interior_stats;
+  os << "interior," << s.steps_executed << ',' << s.joins << ',' << s.max_states << ','
+     << s.total_simulations << ',' << s.seconds << ',' << s.phases.simulate_seconds << ','
+     << s.phases.controller_seconds << ',' << s.phases.join_seconds << ','
+     << s.phases.check_seconds << '\n';
+  os << "leaves," << checkpoint.leaves.size() << '\n';
+  for (const auto& leaf : checkpoint.leaves) {
+    write_leaf_row(os, leaf);
+  }
+  os << "frontier," << checkpoint.frontier.size() << '\n';
+  for (const auto& job : checkpoint.frontier) {
+    os << job.root_index << ',' << job.depth << ',' << job.cell.command;
+    for (const auto& iv : job.cell.box.intervals()) {
+      os << ',' << iv.lo() << ',' << iv.hi();
+    }
+    os << '\n';
+  }
+  if (!os) {
+    throw std::runtime_error("report_io: stream failure while writing checkpoint");
+  }
+}
+
+void save_checkpoint(const EngineCheckpoint& checkpoint, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("report_io: cannot open for writing: " + path.string());
+  }
+  save_checkpoint(checkpoint, out);
+}
+
+EngineCheckpoint load_checkpoint(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw ReportFormatError("report_io: empty checkpoint input");
+  }
+  const auto head_cells = split_csv(header);
+  if (head_cells.size() != 2 || head_cells[0] != kMagicCheckpoint) {
+    throw ReportFormatError("report_io: bad header (not a nncs-checkpoint v1 file)");
+  }
+  EngineCheckpoint checkpoint;
+  checkpoint.root_cells = parse_size(head_cells[1]);
+
+  const auto interior_cells = split_csv(read_line_or_throw(is, "interior stats"));
+  if (interior_cells.size() != 10 || interior_cells[0] != "interior") {
+    throw ReportFormatError("report_io: malformed interior-stats row");
+  }
+  ReachStats& s = checkpoint.interior_stats;
+  s.steps_executed = static_cast<int>(parse_size(interior_cells[1]));
+  s.joins = parse_size(interior_cells[2]);
+  s.max_states = parse_size(interior_cells[3]);
+  s.total_simulations = parse_size(interior_cells[4]);
+  s.seconds = parse_double(interior_cells[5]);
+  s.phases.simulate_seconds = parse_double(interior_cells[6]);
+  s.phases.controller_seconds = parse_double(interior_cells[7]);
+  s.phases.join_seconds = parse_double(interior_cells[8]);
+  s.phases.check_seconds = parse_double(interior_cells[9]);
+
+  const std::size_t num_leaves = parse_section(read_line_or_throw(is, "leaves section"), "leaves");
+  checkpoint.leaves.reserve(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    checkpoint.leaves.push_back(
+        parse_leaf_row(read_line_or_throw(is, "leaf row"), /*v2=*/true));
+  }
+
+  const std::size_t num_jobs =
+      parse_section(read_line_or_throw(is, "frontier section"), "frontier");
+  checkpoint.frontier.reserve(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    const auto cells = split_csv(read_line_or_throw(is, "frontier row"));
+    if (cells.size() < 3 || (cells.size() - 3) % 2 != 0) {
+      throw ReportFormatError("report_io: malformed frontier row");
+    }
+    VerifyJob job;
+    job.root_index = parse_size(cells[0]);
+    job.depth = static_cast<int>(parse_size(cells[1]));
+    job.cell.command = parse_size(cells[2]);
+    job.cell.box = parse_box(cells, 3);
+    checkpoint.frontier.push_back(std::move(job));
+  }
+  return checkpoint;
+}
+
+EngineCheckpoint load_checkpoint(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("report_io: cannot open for reading: " + path.string());
+  }
+  return load_checkpoint(in);
 }
 
 }  // namespace nncs

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <iosfwd>
 
+#include "core/engine.hpp"
 #include "core/verifier.hpp"
 
 namespace nncs {
@@ -34,5 +35,22 @@ class ReportFormatError : public std::runtime_error {
 /// `ReportFormatError` on malformed input.
 VerifyReport load_report(std::istream& is);
 VerifyReport load_report(const std::filesystem::path& path);
+
+/// Checkpoint serialization (`nncs-checkpoint v1`): an interrupted engine
+/// run's completed leaves, interior-cell stats and unfinished frontier, so
+/// hours of verification survive a deadline or SIGKILL. Layout:
+///   `nncs-checkpoint v1,<root_cells>`
+///   `interior,<steps>,<joins>,<max_states>,<sims>,<s>,<sim_s>,<ctrl_s>,<join_s>,<check_s>`
+///   `leaves,<count>` then `count` leaf rows (the report-v2 leaf format)
+///   `frontier,<count>` then `count` rows `root_index,depth,command,lo0,hi0,...`
+/// Values round-trip via max_digits10; resuming from a loaded checkpoint
+/// reproduces the uninterrupted run's report exactly (up to timing).
+void save_checkpoint(const EngineCheckpoint& checkpoint, std::ostream& os);
+void save_checkpoint(const EngineCheckpoint& checkpoint, const std::filesystem::path& path);
+
+/// Parse a checkpoint written by `save_checkpoint`. Throws
+/// `ReportFormatError` on malformed input.
+EngineCheckpoint load_checkpoint(std::istream& is);
+EngineCheckpoint load_checkpoint(const std::filesystem::path& path);
 
 }  // namespace nncs

@@ -76,6 +76,19 @@ void write_run_report(std::ostream& os, std::string_view label, const VerifyRepo
   write_phases(w, aggregate.phases);
   w.end_object();
 
+  // Refined-away interior cells (part of aggregate_stats above, broken out
+  // so the cost of refinement itself stays visible).
+  const ReachStats& interior = report.interior_stats;
+  w.key("interior_stats").begin_object();
+  w.field("steps_executed", static_cast<std::int64_t>(interior.steps_executed))
+      .field("joins", static_cast<std::uint64_t>(interior.joins))
+      .field("max_states", static_cast<std::uint64_t>(interior.max_states))
+      .field("total_simulations", static_cast<std::uint64_t>(interior.total_simulations))
+      .field("cell_seconds", interior.seconds);
+  w.key("phases");
+  write_phases(w, interior.phases);
+  w.end_object();
+
   w.key("metrics");
   obs::write_metrics(w, obs::Registry::instance().snapshot());
   w.end_object();

@@ -1,13 +1,8 @@
 #include "core/verifier.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <mutex>
-#include <stdexcept>
+#include <utility>
 
-#include "obs/span.hpp"
-#include "util/stopwatch.hpp"
-#include "util/thread_pool.hpp"
+#include "core/engine.hpp"
 
 namespace nncs {
 
@@ -29,116 +24,35 @@ double coverage_percent(std::size_t root_cells, const std::vector<std::size_t>& 
 }
 
 VerifyReport Verifier::verify(const SymbolicSet& initial_cells, const VerifyConfig& config) const {
-  if (initial_cells.empty()) {
-    throw std::invalid_argument("Verifier::verify: no initial cells");
-  }
-  if (config.max_refinement_depth < 0) {
-    throw std::invalid_argument("Verifier::verify: negative refinement depth");
-  }
-  Stopwatch watch;
-  VerifyReport report;
-  report.root_cells = initial_cells.size();
-  report.proved_by_depth.assign(static_cast<std::size_t>(config.max_refinement_depth) + 1, 0);
-
-  std::mutex mutex;
-  ThreadPool pool(config.threads);
-
-  // The analysis of one cell; failures below max depth schedule children
-  // according to the split strategy. Recursion happens through the pool so
-  // refinements of slow cells proceed in parallel too.
-  struct Job {
-    SymbolicState cell;
-    int depth;
-    std::size_t root_index;
-  };
-  // Refine a failed cell into child boxes.
-  auto split_cell = [&](const Job& job) -> std::vector<Box> {
-    if (config.split_strategy == SplitStrategy::kAllDims) {
-      return job.cell.box.split(config.split_dims);
-    }
-    // kWidestDim: bisect the dimension with the largest width relative to
-    // its root cell (mixed units must not be compared raw). At depth 0 all
-    // ratios are 1, and ties recur whenever dimensions have been split
-    // equally often — break them round-robin on the depth so successive
-    // levels rotate through the split dimensions.
-    const Box& root = initial_cells[job.root_index].box;
-    const std::size_t k = config.split_dims.size();
-    std::size_t best = config.split_dims[static_cast<std::size_t>(job.depth) % k];
-    double best_ratio = 0.0;
-    {
-      const double root_width = root[best].width();
-      best_ratio = root_width > 0.0 ? job.cell.box[best].width() / root_width
-                                    : job.cell.box[best].width();
-    }
-    for (const std::size_t d : config.split_dims) {
-      const double root_width = root[d].width();
-      const double ratio =
-          root_width > 0.0 ? job.cell.box[d].width() / root_width : job.cell.box[d].width();
-      if (ratio > best_ratio * 1.000001) {
-        best_ratio = ratio;
-        best = d;
-      }
-    }
-    auto [lower, upper] = job.cell.box.bisect(best);
-    return {std::move(lower), std::move(upper)};
-  };
-  // self-reference for recursive submission
-  std::function<void(Job)> analyze = [&](Job job) {
-    NNCS_SPAN_TAGGED("cell.analyze", "root", static_cast<std::int64_t>(job.root_index), "depth",
-                     job.depth);
-    ReachResult res = reach_analyze(*system_, SymbolicSet{job.cell}, *error_, *target_,
-                                    config.reach);
-    const bool proved = res.outcome == ReachOutcome::kProvedSafe;
-    if (!proved && job.depth < config.max_refinement_depth && !config.split_dims.empty()) {
-      const auto children = split_cell(job);
-      for (const auto& child : children) {
-        pool.submit([&analyze, job, child] {
-          analyze(Job{SymbolicState{child, job.cell.command}, job.depth + 1, job.root_index});
-        });
-      }
-      return;
-    }
-    CellOutcome outcome;
-    outcome.initial = job.cell;
-    outcome.depth = job.depth;
-    outcome.root_index = job.root_index;
-    outcome.outcome = res.outcome;
-    outcome.stats = res.stats;
-    std::lock_guard lock(mutex);
-    report.leaves.push_back(std::move(outcome));
-    if (proved) {
-      ++report.proved_leaves;
-      ++report.proved_by_depth[static_cast<std::size_t>(job.depth)];
-    } else {
-      ++report.failed_leaves;
-    }
-  };
-
-  for (std::size_t i = 0; i < initial_cells.size(); ++i) {
-    pool.submit([&analyze, &initial_cells, i] { analyze(Job{initial_cells[i], 0, i}); });
-  }
-  pool.wait_idle();
-
-  const std::size_t split_factor = config.split_strategy == SplitStrategy::kAllDims
-                                       ? std::size_t{1} << config.split_dims.size()
-                                       : 2;
-  report.coverage_percent =
-      coverage_percent(report.root_cells, report.proved_by_depth, split_factor);
-  report.seconds = watch.seconds();
-  return report;
+  const VerificationEngine engine(*system_, *error_, *target_);
+  EngineConfig engine_config;
+  engine_config.verify = config;
+  return std::move(engine.run(initial_cells, engine_config).report);
 }
 
 ReachStats aggregate_stats(const VerifyReport& report) {
-  ReachStats total;
+  ReachStats total = report.interior_stats;
   for (const auto& leaf : report.leaves) {
-    total.steps_executed += leaf.stats.steps_executed;
-    total.joins += leaf.stats.joins;
-    total.max_states = std::max(total.max_states, leaf.stats.max_states);
-    total.total_simulations += leaf.stats.total_simulations;
-    total.seconds += leaf.stats.seconds;
-    total.phases += leaf.stats.phases;
+    total += leaf.stats;
   }
   return total;
+}
+
+namespace {
+
+void strip_timing(ReachStats& stats) {
+  stats.seconds = 0.0;
+  stats.phases = PhaseBreakdown{};
+}
+
+}  // namespace
+
+void strip_timing(VerifyReport& report) {
+  report.seconds = 0.0;
+  strip_timing(report.interior_stats);
+  for (auto& leaf : report.leaves) {
+    strip_timing(leaf.stats);
+  }
 }
 
 }  // namespace nncs

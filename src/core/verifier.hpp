@@ -47,8 +47,14 @@ struct VerifyConfig {
 
 /// Aggregated verification report.
 struct VerifyReport {
-  /// Every terminal cell (proved, or failed at max depth).
+  /// Every terminal cell (proved, or failed at max depth), in the engine's
+  /// deterministic order: (root_index, depth, box lower corner).
   std::vector<CellOutcome> leaves;
+  /// Summed ReachStats of interior cells — the analyses that failed and
+  /// were refined away. Their CPU is real (it dominates deep refinements)
+  /// but they are not terminal leaves, so they get one aggregate slot
+  /// instead of per-cell rows.
+  ReachStats interior_stats;
   /// Number of original (depth-0) cells, the paper's K0.
   std::size_t root_cells = 0;
   /// n_d: proved cells per refinement depth.
@@ -65,6 +71,10 @@ struct VerifyReport {
 /// independent verification problem run on a thread pool; cells that cannot
 /// be proved are bisected along `split_dims` and re-analyzed up to
 /// `max_refinement_depth` (§7.1 "Split refinement").
+///
+/// Thin wrapper over `VerificationEngine` (core/engine.hpp) — use the
+/// engine directly for time budgets, early exit, progress callbacks, or
+/// checkpoint/resume.
 class Verifier {
  public:
   /// Non-owning: the system and regions must outlive the verifier.
@@ -84,11 +94,17 @@ class Verifier {
 double coverage_percent(std::size_t root_cells, const std::vector<std::size_t>& proved_by_depth,
                         std::size_t split_factor);
 
-/// Fold the per-leaf ReachStats of a report into one aggregate:
-/// counters/seconds/phases sum, `max_states` takes the maximum. `seconds`
-/// is total analysis CPU across leaves (≥ report.seconds wall time when
-/// running multi-threaded). Note leaves are terminal cells only — the
-/// analyses of interior (refined-away) cells are not part of the report.
+/// Fold the per-leaf ReachStats of a report — plus `interior_stats`, the
+/// refined-away cells — into one aggregate: counters/seconds/phases sum,
+/// `max_states` takes the maximum. `seconds` is total analysis CPU across
+/// all analyzed cells (≥ report.seconds wall time when multi-threaded).
 ReachStats aggregate_stats(const VerifyReport& report);
+
+/// Zero every timing field (wall seconds, per-leaf and interior CPU
+/// seconds, phase breakdowns) while leaving the deterministic payload —
+/// leaves, outcomes, counters, coverage — untouched. Reports canonicalized
+/// this way serialize byte-identically across runs and thread counts, so
+/// CSVs can be diffed in CI.
+void strip_timing(VerifyReport& report);
 
 }  // namespace nncs

@@ -36,6 +36,20 @@ void Counter::reset() {
   }
 }
 
+std::int64_t Gauge::value() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
 void Histogram::record_ns_unchecked(std::uint64_t ns) {
   Shard& shard = shards_[detail::shard_index()];
   const std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
@@ -122,6 +136,15 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   return 0;
 }
 
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0;
+}
+
 const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const {
   for (const auto& h : histograms) {
     if (h.name == name) {
@@ -135,6 +158,7 @@ struct Registry::Impl {
   mutable std::mutex mutex;
   // unique_ptr so references handed out stay valid across rehash/insert.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
 };
 
@@ -162,6 +186,16 @@ Counter& Registry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Histogram& Registry::histogram(std::string_view name) {
   Impl& i = impl();
   std::lock_guard lock(i.mutex);
@@ -180,6 +214,10 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, counter] : i.counters) {
     snap.counters.push_back(CounterSnapshot{name, counter->value()});
   }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+  }
   snap.histograms.reserve(i.histograms.size());
   for (const auto& [name, histogram] : i.histograms) {
     snap.histograms.push_back(histogram->snapshot(name));
@@ -192,6 +230,9 @@ void Registry::reset() {
   std::lock_guard lock(i.mutex);
   for (auto& [name, counter] : i.counters) {
     counter->reset();
+  }
+  for (auto& [name, gauge] : i.gauges) {
+    gauge->reset();
   }
   for (auto& [name, histogram] : i.histograms) {
     histogram->reset();

@@ -58,6 +58,37 @@ class Counter {
   std::array<Shard, kMetricShards> shards_{};
 };
 
+/// Non-monotonic level metric (queue depths, in-flight counts). Writers
+/// publish signed deltas — `add()`/`sub()` are one relaxed fetch_add on the
+/// calling thread's shard — and `value()` merges on read. Levels therefore
+/// stay exact even when different threads raise and lower them.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) {
+    if (!enabled()) {
+      return;
+    }
+    add_unchecked(n);
+  }
+
+  void sub(std::int64_t n = 1) { add(-n); }
+
+  /// Same without the enabled() gate, for sites that already checked it.
+  void add_unchecked(std::int64_t n = 1) {
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merge-on-read level across all shards.
+  [[nodiscard]] std::int64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
 struct HistogramSnapshot {
   std::string name;
   std::uint64_t count = 0;
@@ -106,12 +137,20 @@ struct CounterSnapshot {
   std::uint64_t value = 0;
 };
 
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// Counter value by name, 0 when absent (test/report convenience).
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Gauge level by name, 0 when absent.
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
   /// Histogram by name, nullptr when absent.
   [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
 };
@@ -125,6 +164,7 @@ class Registry {
   static Registry& instance();
 
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   /// Merged snapshot of every registered metric, sorted by name.
@@ -148,6 +188,17 @@ class Registry {
       static ::nncs::obs::Counter& nncs_count_site =                   \
           ::nncs::obs::Registry::instance().counter(name);             \
       nncs_count_site.add_unchecked(n);                                \
+    }                                                                  \
+  } while (0)
+
+/// Gauge delta for hot paths; `n` may be negative. Same cost model as
+/// NNCS_COUNT.
+#define NNCS_GAUGE_ADD(name, n)                                        \
+  do {                                                                 \
+    if (::nncs::obs::enabled()) {                                      \
+      static ::nncs::obs::Gauge& nncs_gauge_site =                     \
+          ::nncs::obs::Registry::instance().gauge(name);               \
+      nncs_gauge_site.add_unchecked(n);                                \
     }                                                                  \
   } while (0)
 

@@ -46,6 +46,11 @@ void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
     w.field(c.name, c.value);
   }
   w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : snap.gauges) {
+    w.field(g.name, g.value);
+  }
+  w.end_object();
   w.key("histograms").begin_object();
   for (const auto& h : snap.histograms) {
     w.key(h.name)

@@ -24,4 +24,9 @@ bool env_flag(const char* name, bool default_value = false);
 /// or the empty string when unset/empty (callers treat empty as "off").
 std::string env_path(const char* name);
 
+/// Positive seconds value (e.g. `NNCS_TIME_BUDGET`). Unset, empty,
+/// unparsable or non-positive values fall back to `default_value` — same
+/// forgiving handling as env_scale().
+double env_seconds(const char* name, double default_value = 0.0);
+
 }  // namespace nncs

@@ -27,6 +27,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      return;
+    }
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
@@ -35,6 +38,26 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::request_drain() {
+  std::deque<std::function<void()>> discarded;
+  {
+    std::lock_guard lock(mutex_);
+    draining_.store(true, std::memory_order_release);
+    discarded.swap(queue_);
+    if (active_ == 0) {
+      cv_idle_.notify_all();
+    }
+  }
+  // Destroy the abandoned closures outside the lock (they may own state
+  // with nontrivial destructors).
+  return discarded.size();
+}
+
+void ThreadPool::resume_accepting() {
+  std::lock_guard lock(mutex_);
+  draining_.store(false, std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,12 +29,27 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  /// Enqueue a task. Thread-safe; may be called from inside a task.
+  /// Enqueue a task. Thread-safe; may be called from inside a task. While
+  /// the pool is draining the task is silently dropped (callers that care
+  /// track their own work items — see the verification engine's job queue).
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks (including recursively submitted ones)
   /// have finished.
   void wait_idle();
+
+  /// Cooperative cancellation: discard every queued-but-unstarted task and
+  /// drop all future submits; tasks already running finish normally.
+  /// `wait_idle()` afterwards waits only for the in-flight tasks. Returns
+  /// the number of discarded tasks.
+  std::size_t request_drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Leave drain mode: the pool accepts and runs submits again.
+  void resume_accepting();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
@@ -47,6 +63,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace nncs

@@ -1,0 +1,241 @@
+// Tests for the cancellable job-queue verification engine: determinism
+// across thread counts, cooperative cancellation, budgets, early exit on
+// violation, and checkpoint/resume.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+
+#include "closed_loop_fixtures.hpp"
+#include "core/engine.hpp"
+#include "core/report_io.hpp"
+
+namespace nncs {
+namespace {
+
+using testing_fixtures::braking_plant;
+using testing_fixtures::threshold_controller;
+
+const TaylorIntegrator kIntegrator;
+
+/// Same braking setup the verifier tests use: always-coast vehicle, safety
+/// decided by the sign of the closing speed v, mixed cells refine.
+struct EngineSetup {
+  std::unique_ptr<Dynamics> plant = braking_plant();
+  std::unique_ptr<NeuralController> ctrl = threshold_controller(-1e9, -8.0);
+  ClosedLoop system{plant.get(), ctrl.get(), 1.0};
+  BoxRegion error{{{0, Interval{-1e9, 0.0}}}};
+  BoxRegion target{{{0, Interval{20.0, 1e9}}}};
+
+  EngineConfig config() const {
+    EngineConfig ec;
+    ec.verify.reach.control_steps = 30;
+    ec.verify.reach.integration_steps = 2;
+    ec.verify.reach.gamma = 4;
+    ec.verify.reach.integrator = &kIntegrator;
+    ec.verify.max_refinement_depth = 2;
+    ec.verify.split_dims = {1};
+    ec.verify.threads = 2;
+    return ec;
+  }
+
+  VerificationEngine engine() const { return VerificationEngine(system, error, target); }
+};
+
+/// Mixed cells (v straddles 0) so the run exercises refinement.
+SymbolicSet mixed_cells(int n) {
+  SymbolicSet cells;
+  for (int i = 0; i < n; ++i) {
+    cells.push_back({Box{Interval{4.0 + i, 5.0 + i}, Interval{-2.0, 2.0}}, 0});
+  }
+  return cells;
+}
+
+std::string canonical_csv(VerifyReport report) {
+  strip_timing(report);
+  std::ostringstream os;
+  save_report(report, os);
+  return os.str();
+}
+
+TEST(Engine, CompleteRunMatchesVerifier) {
+  EngineSetup s;
+  const auto cells = mixed_cells(3);
+  const EngineResult result = s.engine().run(cells, s.config());
+  EXPECT_EQ(result.stop_reason, EngineStopReason::kComplete);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.checkpoint.frontier.empty());
+  EXPECT_FALSE(result.violation.has_value());
+
+  const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config().verify);
+  EXPECT_EQ(canonical_csv(result.report), canonical_csv(report));
+}
+
+TEST(Engine, LeavesAreSortedDeterministically) {
+  EngineSetup s;
+  const EngineResult result = s.engine().run(mixed_cells(4), s.config());
+  const auto& leaves = result.report.leaves;
+  EXPECT_TRUE(std::is_sorted(leaves.begin(), leaves.end(), cell_outcome_less));
+  // Strictly sorted: no two leaves share (root, depth, box, command).
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_TRUE(cell_outcome_less(leaves[i - 1], leaves[i]));
+  }
+}
+
+TEST(Engine, CanonicalReportIsByteIdenticalAcrossThreadCounts) {
+  EngineSetup s;
+  const auto cells = mixed_cells(6);
+  EngineConfig one = s.config();
+  one.verify.threads = 1;
+  EngineConfig eight = s.config();
+  eight.verify.threads = 8;
+  const EngineResult a = s.engine().run(cells, one);
+  const EngineResult b = s.engine().run(cells, eight);
+  EXPECT_EQ(canonical_csv(a.report), canonical_csv(b.report));
+  // Interior counters are deterministic sums too (only timing may differ).
+  EXPECT_EQ(a.report.interior_stats.steps_executed, b.report.interior_stats.steps_executed);
+  EXPECT_EQ(a.report.interior_stats.total_simulations,
+            b.report.interior_stats.total_simulations);
+}
+
+TEST(Engine, StoppedControlCancelsReachAnalyze) {
+  EngineSetup s;
+  RunControl control;
+  control.request_stop();
+  const ReachConfig rc = s.config().verify.reach;
+  const auto res = reach_analyze(s.system, mixed_cells(1), s.error, s.target, rc, &control);
+  EXPECT_EQ(res.outcome, ReachOutcome::kCancelled);
+  EXPECT_EQ(res.stats.steps_executed, 0);
+  EXPECT_STREQ(to_string(res.outcome), "cancelled");
+}
+
+TEST(Engine, ExpiredDeadlineCancelsReachAnalyze) {
+  EngineSetup s;
+  RunControl control;
+  control.set_deadline(std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(control.stopped());
+  const ReachConfig rc = s.config().verify.reach;
+  const auto res = reach_analyze(s.system, mixed_cells(1), s.error, s.target, rc, &control);
+  EXPECT_EQ(res.outcome, ReachOutcome::kCancelled);
+}
+
+TEST(Engine, TimeBudgetCheckpointsAndResumeMatchesReference) {
+  EngineSetup s;
+  const auto cells = mixed_cells(4);
+  const EngineResult reference = s.engine().run(cells, s.config());
+  ASSERT_TRUE(reference.complete());
+
+  // A budget far below one cell's analysis time: the run stops with work
+  // left over (whatever subset did finish is merged on resume).
+  EngineConfig budgeted = s.config();
+  budgeted.time_budget_seconds = 1e-6;
+  const EngineResult interrupted = s.engine().run(cells, budgeted);
+  ASSERT_EQ(interrupted.stop_reason, EngineStopReason::kStopped);
+  ASSERT_FALSE(interrupted.checkpoint.frontier.empty());
+  EXPECT_EQ(interrupted.checkpoint.root_cells, cells.size());
+
+  // Round-trip the checkpoint through its serialization, like the CLI does.
+  std::stringstream buffer;
+  save_checkpoint(interrupted.checkpoint, buffer);
+  const EngineCheckpoint restored = load_checkpoint(buffer);
+
+  const EngineResult resumed = s.engine().resume(cells, restored, s.config());
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(canonical_csv(resumed.report), canonical_csv(reference.report));
+  EXPECT_DOUBLE_EQ(resumed.report.coverage_percent, reference.report.coverage_percent);
+}
+
+TEST(Engine, StopOnViolationExitsEarly) {
+  EngineSetup s;
+  // First cell certainly unsafe (v > 0), the rest safe; one worker so the
+  // violation fires before anything else runs.
+  SymbolicSet cells{{Box{Interval{5.0, 6.0}, Interval{1.0, 2.0}}, 0}};
+  for (int i = 0; i < 3; ++i) {
+    cells.push_back({Box{Interval{5.0 + i, 6.0 + i}, Interval{-2.0, -1.0}}, 0});
+  }
+  EngineConfig ec = s.config();
+  ec.verify.threads = 1;
+  ec.stop_on_violation = true;
+  const EngineResult result = s.engine().run(cells, ec);
+  EXPECT_EQ(result.stop_reason, EngineStopReason::kViolation);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->outcome, ReachOutcome::kErrorReachable);
+  EXPECT_EQ(result.violation->root_index, 0u);
+  // The offending cell is a terminal leaf even below max_refinement_depth.
+  EXPECT_EQ(result.violation->depth, 0);
+  // The untouched cells survive in the frontier for a later resume.
+  EXPECT_FALSE(result.checkpoint.frontier.empty());
+
+  // Resuming (without the early exit) finishes the safe remainder.
+  const EngineResult resumed = s.engine().resume(cells, result.checkpoint, s.config());
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.report.leaves.size(), 4u);
+  EXPECT_EQ(resumed.report.proved_leaves, 3u);
+}
+
+TEST(Engine, ProgressCallbackObservesRunAndCanStopIt) {
+  EngineSetup s;
+  SymbolicSet cells;
+  for (int i = 0; i < 6; ++i) {
+    cells.push_back({Box{Interval{5.0 + i, 6.0 + i}, Interval{-2.0, -1.0}}, 0});
+  }
+  RunControl control;
+  EngineConfig ec = s.config();
+  ec.verify.threads = 1;
+  std::size_t calls = 0;
+  ec.on_progress = [&](const EngineProgress& p) {
+    ++calls;
+    EXPECT_EQ(p.cells_done, p.cells_proved + p.cells_failed);
+    if (p.cells_done >= 2) {
+      control.request_stop();
+    }
+  };
+  const EngineResult result = s.engine().run(cells, ec, &control);
+  EXPECT_GE(calls, 2u);
+  EXPECT_EQ(result.stop_reason, EngineStopReason::kStopped);
+  EXPECT_GE(result.report.leaves.size(), 2u);
+  EXPECT_FALSE(result.checkpoint.frontier.empty());
+  EXPECT_EQ(result.report.leaves.size() + result.checkpoint.frontier.size(), cells.size());
+}
+
+TEST(Engine, ResumeValidatesCheckpoint) {
+  EngineSetup s;
+  const auto cells = mixed_cells(2);
+  EngineCheckpoint wrong_partition;
+  wrong_partition.root_cells = 99;
+  EXPECT_THROW(s.engine().resume(cells, wrong_partition, s.config()), std::invalid_argument);
+
+  EngineCheckpoint corrupt;
+  corrupt.root_cells = cells.size();
+  corrupt.frontier.push_back(VerifyJob{cells[0], 0, /*root_index=*/7});
+  EXPECT_THROW(s.engine().resume(cells, corrupt, s.config()), std::invalid_argument);
+}
+
+TEST(Engine, RunControlStateMachine) {
+  RunControl control;
+  EXPECT_FALSE(control.stopped());
+  EXPECT_FALSE(control.has_deadline());
+  control.set_time_budget(3600.0);
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_FALSE(control.stopped());
+  control.clear_deadline();
+  EXPECT_FALSE(control.has_deadline());
+  control.request_stop();
+  EXPECT_TRUE(control.stopped());
+}
+
+TEST(Engine, RunControlSignalFlag) {
+  static volatile std::sig_atomic_t flag = 0;
+  flag = 0;
+  RunControl control;
+  control.bind_signal_flag(&flag);
+  EXPECT_FALSE(control.stopped());
+  flag = 1;
+  EXPECT_TRUE(control.stopped());
+}
+
+}  // namespace
+}  // namespace nncs

@@ -98,6 +98,62 @@ TEST(ObsCounter, ConcurrentAddsAllLand) {
   EXPECT_EQ(c.value(), kThreads * kPerThread);
 }
 
+TEST(ObsGauge, AddSubAndMergeOnRead) {
+  TelemetryGuard guard;
+  set_enabled(true);
+  Gauge& g = Registry::instance().gauge("test.gauge");
+  g.add(5);
+  g.sub(2);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsGauge, DisabledAddIsDropped) {
+  TelemetryGuard guard;
+  Gauge& g = Registry::instance().gauge("test.gauge.disabled");
+  g.add(7);
+  EXPECT_EQ(g.value(), 0);
+  NNCS_GAUGE_ADD("test.gauge.disabled", 9);
+  EXPECT_EQ(Registry::instance().snapshot().gauge("test.gauge.disabled"), 0);
+}
+
+TEST(ObsGauge, ConcurrentRaiseAndLowerStaysExact) {
+  TelemetryGuard guard;
+  set_enabled(true);
+  Gauge& g = Registry::instance().gauge("test.gauge.mt");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  // Half the threads raise, half lower from *different* shards: the level
+  // must still merge to the exact net.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.submit([&g, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          g.add(2);
+        } else {
+          g.sub(1);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(g.value(),
+            static_cast<std::int64_t>(kThreads / 2 * kPerThread * 2 -
+                                      kThreads / 2 * kPerThread));
+}
+
+TEST(ObsGauge, SnapshotAndLookup) {
+  TelemetryGuard guard;
+  set_enabled(true);
+  Registry::instance().gauge("test.gauge.snap").add(-3);
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.gauge("test.gauge.snap"), -3);
+  EXPECT_EQ(snap.gauge("missing"), 0);
+}
+
 TEST(ObsHistogram, RecordsCountSumMinMax) {
   TelemetryGuard guard;
   set_enabled(true);
@@ -286,6 +342,23 @@ TEST(ObsJson, ParserRejectsMalformedInput) {
   EXPECT_THROW(json_parse("{} trailing"), JsonParseError);
   EXPECT_THROW(json_parse("[1,]"), JsonParseError);
   EXPECT_THROW(json_parse("{\"a\" 1}"), JsonParseError);
+}
+
+TEST(ObsMetrics, WriteMetricsIncludesGauges) {
+  TelemetryGuard guard;
+  set_enabled(true);
+  Registry::instance().counter("w.counter").add(4);
+  Registry::instance().gauge("w.gauge").add(-2);
+  std::ostringstream oss;
+  JsonWriter w(oss);
+  write_metrics(w, Registry::instance().snapshot());
+  const JsonValue v = json_parse(oss.str());
+  const JsonValue* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("w.gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("w.gauge")->number, -2.0);
+  ASSERT_NE(v.find("counters"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("counters")->find("w.counter")->number, 4.0);
 }
 
 TEST(ObsProvenance, CollectAndSerialize) {

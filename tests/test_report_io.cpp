@@ -150,5 +150,132 @@ TEST(ReportIo, NumbersRoundTripBitExact) {
   EXPECT_EQ(loaded.leaves[0].initial.box[0].hi(), 0.30000000000000004);
 }
 
+TEST(ReportIo, SubnormalBoundsRoundTripBitExact) {
+  // Box bounds near zero can be subnormal (scenario generators produce
+  // them); std::stod would reject these as out-of-range.
+  VerifyReport report = sample_report();
+  report.leaves[0].initial.box = Box{Interval{-1.5810594732565731e-319, 4.9406564584124654e-324}};
+  std::stringstream buffer;
+  save_report(report, buffer);
+  const VerifyReport loaded = load_report(buffer);
+  EXPECT_EQ(loaded.leaves[0].initial.box[0].lo(), -1.5810594732565731e-319);
+  EXPECT_EQ(loaded.leaves[0].initial.box[0].hi(), 4.9406564584124654e-324);
+}
+
+TEST(ReportIo, CancelledOutcomeRoundTrips) {
+  VerifyReport report = sample_report();
+  report.leaves[1].outcome = ReachOutcome::kCancelled;
+  std::stringstream buffer;
+  save_report(report, buffer);
+  const VerifyReport loaded = load_report(buffer);
+  EXPECT_EQ(loaded.leaves[1].outcome, ReachOutcome::kCancelled);
+}
+
+EngineCheckpoint sample_checkpoint() {
+  EngineCheckpoint cp;
+  cp.root_cells = 4;
+  cp.interior_stats.steps_executed = 90;
+  cp.interior_stats.joins = 21;
+  cp.interior_stats.max_states = 6;
+  cp.interior_stats.total_simulations = 180;
+  cp.interior_stats.seconds = 2.5;
+  cp.interior_stats.phases.simulate_seconds = 1.25;
+  cp.interior_stats.phases.controller_seconds = 0.5;
+  cp.interior_stats.phases.join_seconds = 0.25;
+  cp.interior_stats.phases.check_seconds = 0.125;
+  cp.leaves = sample_report().leaves;
+  VerifyJob j1;
+  j1.cell = SymbolicState{Box{Interval{0.1, 0.30000000000000004}, Interval{-2.0, 2.0}}, 1};
+  j1.depth = 1;
+  j1.root_index = 3;
+  VerifyJob j2;
+  j2.cell = SymbolicState{Box{Interval{-1.0, 0.0}, Interval{0.0, 1.0}}, 0};
+  j2.depth = 0;
+  j2.root_index = 1;
+  cp.frontier = {j1, j2};
+  return cp;
+}
+
+TEST(ReportIo, CheckpointRoundTripPreservesEverything) {
+  const EngineCheckpoint original = sample_checkpoint();
+  std::stringstream buffer;
+  save_checkpoint(original, buffer);
+  EXPECT_EQ(buffer.str().rfind("nncs-checkpoint v1,", 0), 0u);
+  const EngineCheckpoint loaded = load_checkpoint(buffer);
+  EXPECT_EQ(loaded.root_cells, original.root_cells);
+  EXPECT_EQ(loaded.interior_stats.steps_executed, original.interior_stats.steps_executed);
+  EXPECT_EQ(loaded.interior_stats.joins, original.interior_stats.joins);
+  EXPECT_EQ(loaded.interior_stats.max_states, original.interior_stats.max_states);
+  EXPECT_EQ(loaded.interior_stats.total_simulations,
+            original.interior_stats.total_simulations);
+  EXPECT_DOUBLE_EQ(loaded.interior_stats.seconds, original.interior_stats.seconds);
+  EXPECT_DOUBLE_EQ(loaded.interior_stats.phases.total(),
+                   original.interior_stats.phases.total());
+  ASSERT_EQ(loaded.leaves.size(), original.leaves.size());
+  for (std::size_t i = 0; i < loaded.leaves.size(); ++i) {
+    EXPECT_EQ(loaded.leaves[i].root_index, original.leaves[i].root_index);
+    EXPECT_EQ(loaded.leaves[i].outcome, original.leaves[i].outcome);
+    EXPECT_EQ(loaded.leaves[i].initial.box, original.leaves[i].initial.box);
+  }
+  ASSERT_EQ(loaded.frontier.size(), original.frontier.size());
+  for (std::size_t i = 0; i < loaded.frontier.size(); ++i) {
+    EXPECT_EQ(loaded.frontier[i].root_index, original.frontier[i].root_index);
+    EXPECT_EQ(loaded.frontier[i].depth, original.frontier[i].depth);
+    EXPECT_EQ(loaded.frontier[i].cell.command, original.frontier[i].cell.command);
+    // Bit-exact boxes: resume must analyze exactly the cells that were
+    // pending, or the merged report drifts from the uninterrupted one.
+    EXPECT_EQ(loaded.frontier[i].cell.box, original.frontier[i].cell.box);
+  }
+}
+
+TEST(ReportIo, CheckpointWithEmptySectionsRoundTrips) {
+  EngineCheckpoint cp;
+  cp.root_cells = 1;
+  std::stringstream buffer;
+  save_checkpoint(cp, buffer);
+  const EngineCheckpoint loaded = load_checkpoint(buffer);
+  EXPECT_EQ(loaded.root_cells, 1u);
+  EXPECT_TRUE(loaded.leaves.empty());
+  EXPECT_TRUE(loaded.frontier.empty());
+  EXPECT_EQ(loaded.interior_stats.total_simulations, 0u);
+}
+
+TEST(ReportIo, CheckpointFileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "nncs_checkpoint_test.csv";
+  save_checkpoint(sample_checkpoint(), path);
+  const EngineCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.frontier.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ReportIo, MalformedCheckpointThrows) {
+  // Wrong magic.
+  std::stringstream bad_header("nncs-report v2,4\n");
+  EXPECT_THROW(load_checkpoint(bad_header), ReportFormatError);
+  // Truncated after the header.
+  std::stringstream truncated("nncs-checkpoint v1,4\n");
+  EXPECT_THROW(load_checkpoint(truncated), ReportFormatError);
+  // Interior row with too few fields.
+  std::stringstream bad_interior("nncs-checkpoint v1,4\ninterior,1,2\n");
+  EXPECT_THROW(load_checkpoint(bad_interior), ReportFormatError);
+  // Leaf section promises more rows than the file holds.
+  std::stringstream missing_leaves(
+      "nncs-checkpoint v1,4\n"
+      "interior,0,0,0,0,0,0,0,0,0\n"
+      "leaves,2\n"
+      "0,0,proved-safe,0.5,30,7,5,60,0.25,0.125,0.0625,0.03125,3,-1,2\n");
+  EXPECT_THROW(load_checkpoint(missing_leaves), ReportFormatError);
+  // Frontier row with an odd number of box bounds.
+  std::stringstream bad_frontier(
+      "nncs-checkpoint v1,1\n"
+      "interior,0,0,0,0,0,0,0,0,0\n"
+      "leaves,0\n"
+      "frontier,1\n"
+      "0,0,0,1.0\n");
+  EXPECT_THROW(load_checkpoint(bad_frontier), ReportFormatError);
+  EXPECT_THROW(load_checkpoint(std::filesystem::path{"/nonexistent/checkpoint.csv"}),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace nncs

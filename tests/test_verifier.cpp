@@ -149,12 +149,13 @@ TEST(Verifier, AggregateStatsSumsLeaves) {
   const auto report = Verifier(s.system, s.error, s.target).verify(cells, s.config());
   const ReachStats agg = aggregate_stats(report);
 
-  int steps = 0;
-  std::size_t joins = 0;
-  std::size_t max_states = 0;
-  std::size_t sims = 0;
-  double seconds = 0.0;
-  double phase_total = 0.0;
+  // Aggregate = refined-away interior cells + terminal leaves.
+  int steps = report.interior_stats.steps_executed;
+  std::size_t joins = report.interior_stats.joins;
+  std::size_t max_states = report.interior_stats.max_states;
+  std::size_t sims = report.interior_stats.total_simulations;
+  double seconds = report.interior_stats.seconds;
+  double phase_total = report.interior_stats.phases.total();
   for (const auto& leaf : report.leaves) {
     steps += leaf.stats.steps_executed;
     joins += leaf.stats.joins;
@@ -169,6 +170,10 @@ TEST(Verifier, AggregateStatsSumsLeaves) {
   EXPECT_EQ(agg.total_simulations, sims);
   EXPECT_DOUBLE_EQ(agg.seconds, seconds);
   EXPECT_DOUBLE_EQ(agg.phases.total(), phase_total);
+
+  // Mixed cells refine, so the refined-away interior cells did real work
+  // that leaves alone would under-count.
+  EXPECT_GT(report.interior_stats.total_simulations, 0u);
 
   // The run did real work, and the phase tiling never exceeds the per-cell
   // wall time it decomposes.
