@@ -16,12 +16,13 @@
 
 namespace nncs::bench {
 
-AcasSystem make_acas_system(NnDomain domain) {
+AcasSystem make_acas_system(NnDomain domain, const NnCacheConfig& nn_cache) {
   const acasxu::TrainingConfig training;
   const auto networks = acasxu::ensure_networks("acasxu_nets_cache", training);
   AcasSystem system;
   system.plant = acasxu::make_dynamics();
   system.controller = acasxu::make_controller(networks, domain);
+  system.controller->configure_cache(nn_cache);
   system.loop = ClosedLoop{system.plant.get(), system.controller.get(), 1.0};
   return system;
 }
@@ -139,6 +140,7 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   config.reach.integration_steps = 10;  // M = 10 (paper)
   config.reach.gamma = 5;               // Γ = P (paper)
   config.reach.integrator = &integrator;
+  config.reach.nn_cache = nn_cache_config_from_env();  // applied in make_acas_system
   config.max_refinement_depth = max_depth;
   config.split_dims = acasxu::split_dimensions();
   config.threads = env_threads();

@@ -26,8 +26,11 @@ struct AcasSystem {
 };
 
 /// Load (or train once and cache) the 5 advisory networks and assemble the
-/// closed loop with the paper's parameters (T = 1 s).
-AcasSystem make_acas_system(NnDomain domain = NnDomain::kSymbolic);
+/// closed loop with the paper's parameters (T = 1 s). The NN query cache
+/// defaults to the `NNCS_NN_CACHE` environment policy (memo when unset);
+/// pass an explicit config to pin a mode (the nn_cache bench sweeps them).
+AcasSystem make_acas_system(NnDomain domain = NnDomain::kSymbolic,
+                            const NnCacheConfig& nn_cache = nn_cache_config_from_env());
 
 /// One per-cell verification record, flattened for CSV caching.
 struct CellRecord {

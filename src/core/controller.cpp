@@ -44,13 +44,15 @@ std::vector<std::size_t> ArgminPost::eval_abstract(const ZonotopeBounds& bounds)
 NeuralController::NeuralController(CommandSet commands, std::vector<Network> networks,
                                    std::vector<std::size_t> selector,
                                    std::unique_ptr<Preprocessor> pre,
-                                   std::unique_ptr<Postprocessor> post, NnDomain domain)
+                                   std::unique_ptr<Postprocessor> post, NnDomain domain,
+                                   NnCacheConfig cache)
     : commands_(std::move(commands)),
       networks_(std::move(networks)),
       selector_(std::move(selector)),
       pre_(std::move(pre)),
       post_(std::move(post)),
       domain_(domain) {
+  configure_cache(cache);
   if (networks_.empty()) {
     throw std::invalid_argument("NeuralController: at least one network required");
   }
@@ -87,28 +89,99 @@ std::size_t NeuralController::step(const Vec& state, std::size_t previous_comman
   return next;
 }
 
+void NeuralController::configure_cache(const NnCacheConfig& cache) {
+  cache_ = cache.enabled() ? std::make_shared<NnQueryCache>(cache) : nullptr;
+}
+
+bool NeuralController::step_from_cache(std::size_t net_id, AbstractControlStep& result) const {
+  if (auto hit = cache_->find_exact(net_id, result.network_input)) {
+    // Exact match replays the propagation's own result, so memo mode keeps
+    // canonical reports byte-identical to cacheless runs.
+    result.commands = std::move(hit->commands);
+    result.network_output = std::move(hit->output_box);
+    cache_->count_hit(/*containment=*/false);
+    return true;
+  }
+  if (cache_->mode() != NnCacheMode::kContainment || domain_ != NnDomain::kSymbolic) {
+    cache_->count_miss(/*after_reuse_attempt=*/false);
+    return false;
+  }
+  // Containment reuse: affine bounds valid on a covering box B stay valid
+  // on the query box B' ⊆ B; re-concretizing them on B' (output box and the
+  // argmin's symbolic differences) yields a sound — if wider — enclosure.
+  const std::shared_ptr<const SymbolicBounds> base =
+      cache_->find_containing(net_id, result.network_input);
+  if (!base) {
+    cache_->count_miss(/*after_reuse_attempt=*/false);
+    return false;
+  }
+  auto reused = std::make_shared<SymbolicBounds>();
+  reused->input = result.network_input;
+  reused->outputs = base->outputs;
+  reused->output_box = concretize_output_box(reused->outputs, reused->input);
+  std::vector<std::size_t> commands;
+  {
+    NNCS_SPAN("nn.argmin");
+    commands = post_->eval_abstract(*reused);
+  }
+  if (commands.size() >= commands_.size()) {
+    // The widened bounds pruned nothing: propagate from scratch instead of
+    // accepting a worthless (though sound) full command set.
+    cache_->count_miss(/*after_reuse_attempt=*/true);
+    return false;
+  }
+  result.commands = std::move(commands);
+  result.network_output = reused->output_box;
+  cache_->count_hit(/*containment=*/true);
+  cache_->insert(net_id, result.network_input,
+                 NnQueryCache::Result{result.commands, result.network_output, std::move(reused)});
+  return true;
+}
+
 AbstractControlStep NeuralController::step_abstract(const Box& state,
                                                     std::size_t previous_command) const {
   if (previous_command >= commands_.size()) {
     throw std::out_of_range("NeuralController::step_abstract: bad previous command index");
   }
-  const Network& net = networks_[selector_[previous_command]];
+  const std::size_t net_id = selector_[previous_command];
+  const Network& net = networks_[net_id];
   AbstractControlStep result;
   result.network_input = pre_->eval_abstract(state);
-  if (domain_ == NnDomain::kSymbolic) {
-    const SymbolicBounds bounds = symbolic_propagate(net, result.network_input);
-    result.network_output = bounds.output_box;
-    NNCS_SPAN("nn.argmin");
-    result.commands = post_->eval_abstract(bounds);
-  } else if (domain_ == NnDomain::kAffine) {
-    const ZonotopeBounds bounds = zonotope_propagate(net, result.network_input);
-    result.network_output = bounds.output_box;
-    NNCS_SPAN("nn.argmin");
-    result.commands = post_->eval_abstract(bounds);
-  } else {
-    result.network_output = interval_propagate(net, result.network_input);
-    NNCS_SPAN("nn.argmin");
-    result.commands = post_->eval_abstract(result.network_output);
+  if (!cache_ || !step_from_cache(net_id, result)) {
+    if (domain_ == NnDomain::kSymbolic) {
+      auto bounds = std::make_shared<SymbolicBounds>(symbolic_propagate(net, result.network_input));
+      result.network_output = bounds->output_box;
+      {
+        NNCS_SPAN("nn.argmin");
+        result.commands = post_->eval_abstract(*bounds);
+      }
+      if (cache_) {
+        cache_->insert(net_id, result.network_input,
+                       NnQueryCache::Result{result.commands, result.network_output,
+                                            std::move(bounds)});
+      }
+    } else if (domain_ == NnDomain::kAffine) {
+      const ZonotopeBounds bounds = zonotope_propagate(net, result.network_input);
+      result.network_output = bounds.output_box;
+      {
+        NNCS_SPAN("nn.argmin");
+        result.commands = post_->eval_abstract(bounds);
+      }
+      if (cache_) {
+        cache_->insert(net_id, result.network_input,
+                       NnQueryCache::Result{result.commands, result.network_output, nullptr});
+      }
+    } else {
+      result.network_output = interval_propagate(net, result.network_input);
+      {
+        NNCS_SPAN("nn.argmin");
+        result.commands = post_->eval_abstract(result.network_output);
+      }
+      if (cache_) {
+        cache_->insert(net_id, result.network_input,
+                       NnQueryCache::Result{result.commands, result.network_output, nullptr});
+      }
+    }
   }
   if (result.commands.empty()) {
     throw std::logic_error("NeuralController::step_abstract: Post# returned no commands (unsound abstract post-processor)");

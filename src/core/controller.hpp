@@ -6,6 +6,7 @@
 
 #include "interval/box.hpp"
 #include "nn/network.hpp"
+#include "nn/query_cache.hpp"
 #include "nn/symbolic_prop.hpp"
 #include "nn/zonotope_prop.hpp"
 
@@ -131,12 +132,21 @@ class NeuralController final : public Controller {
   /// (network input dim vs Pre output dim, selector size vs |U|, ...).
   NeuralController(CommandSet commands, std::vector<Network> networks,
                    std::vector<std::size_t> selector, std::unique_ptr<Preprocessor> pre,
-                   std::unique_ptr<Postprocessor> post, NnDomain domain = NnDomain::kSymbolic);
+                   std::unique_ptr<Postprocessor> post, NnDomain domain = NnDomain::kSymbolic,
+                   NnCacheConfig cache = {});
 
   [[nodiscard]] const CommandSet& commands() const override { return commands_; }
   [[nodiscard]] const std::vector<Network>& networks() const { return networks_; }
   [[nodiscard]] NnDomain domain() const { return domain_; }
   [[nodiscard]] std::size_t state_dim() const override { return pre_->input_dim(); }
+
+  /// Replace the NN query cache (drops any cached state). Not thread-safe
+  /// against in-flight step_abstract calls — reconfigure before analysis
+  /// starts. `NnCacheMode::kOff` removes the cache entirely.
+  void configure_cache(const NnCacheConfig& cache);
+
+  /// The active cache, or nullptr when mode is off.
+  [[nodiscard]] const NnQueryCache* query_cache() const { return cache_.get(); }
 
   /// Concrete control step j: sampled state -> next command index
   /// (u_{j+1} = Post(F_{λ(u_j)}(Pre(s_j)))).
@@ -148,12 +158,19 @@ class NeuralController final : public Controller {
                                                   std::size_t previous_command) const override;
 
  private:
+  /// Cache consult: fills commands/network_output on a hit (exact match, or
+  /// — in containment mode — sound reuse of covering symbolic bounds).
+  [[nodiscard]] bool step_from_cache(std::size_t net_id, AbstractControlStep& result) const;
+
   CommandSet commands_;
   std::vector<Network> networks_;
   std::vector<std::size_t> selector_;
   std::unique_ptr<Preprocessor> pre_;
   std::unique_ptr<Postprocessor> post_;
   NnDomain domain_;
+  /// Shared across the analysis threads of a run; mutated from const
+  /// step_abstract (the cache is internally synchronized).
+  std::shared_ptr<NnQueryCache> cache_;
 };
 
 }  // namespace nncs

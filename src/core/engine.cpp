@@ -139,21 +139,36 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
   ThreadPool pool(vc.threads);
 
   // Refine a failed cell into child boxes (the §7.1 all-dims scheme or the
-  // §8 widest-dim heuristic, normalized by the root cell's widths).
+  // §8 widest-dim heuristic, normalized by the root cell's widths). Only
+  // dimensions whose bisection makes progress participate: a thin or
+  // degenerate dimension's midpoint lands on an endpoint, so bisecting it
+  // returns a child identical to the parent and the cell would be re-queued
+  // unchanged until the depth cap. An empty return means no dimension can
+  // make progress — the caller keeps the cell as an undecided leaf.
   auto split_cell = [&](const VerifyJob& job) -> std::vector<Box> {
+    std::vector<std::size_t> splittable;
+    splittable.reserve(vc.split_dims.size());
+    for (const std::size_t d : vc.split_dims) {
+      if (job.cell.box.bisectable(d)) {
+        splittable.push_back(d);
+      }
+    }
+    if (splittable.empty()) {
+      return {};
+    }
     if (vc.split_strategy == SplitStrategy::kAllDims) {
-      return job.cell.box.split(vc.split_dims);
+      return job.cell.box.split(splittable);
     }
     const Box& root = initial_cells[job.root_index].box;
-    const std::size_t k = vc.split_dims.size();
-    std::size_t best = vc.split_dims[static_cast<std::size_t>(job.depth) % k];
+    const std::size_t k = splittable.size();
+    std::size_t best = splittable[static_cast<std::size_t>(job.depth) % k];
     double best_ratio = 0.0;
     {
       const double root_width = root[best].width();
       best_ratio = root_width > 0.0 ? job.cell.box[best].width() / root_width
                                     : job.cell.box[best].width();
     }
-    for (const std::size_t d : vc.split_dims) {
+    for (const std::size_t d : splittable) {
       const double root_width = root[d].width();
       const double ratio =
           root_width > 0.0 ? job.cell.box[d].width() / root_width : job.cell.box[d].width();
@@ -210,28 +225,34 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
     if (!proved && !terminal_violation && job.depth < vc.max_refinement_depth &&
         !vc.split_dims.empty()) {
       std::vector<Box> children = split_cell(job);
-      NNCS_COUNT("engine.cells_refined", 1);
-      NNCS_GAUGE_ADD("engine.queue_depth", static_cast<std::int64_t>(children.size()));
-      std::size_t spawned = 0;
-      {
-        std::lock_guard lock(mutex);
-        --progress.in_flight;
-        interior += res.stats;
-        ++progress.cells_refined;
-        for (Box& child : children) {
-          pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command},
-                                      job.depth + 1, job.root_index});
+      if (children.empty()) {
+        // No split dimension can make progress (all thin/degenerate): keep
+        // the cell as an undecided leaf instead of re-queuing it unchanged.
+        NNCS_COUNT("engine.stalled_splits", 1);
+      } else {
+        NNCS_COUNT("engine.cells_refined", 1);
+        NNCS_GAUGE_ADD("engine.queue_depth", static_cast<std::int64_t>(children.size()));
+        std::size_t spawned = 0;
+        {
+          std::lock_guard lock(mutex);
+          --progress.in_flight;
+          interior += res.stats;
+          ++progress.cells_refined;
+          for (Box& child : children) {
+            pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command},
+                                        job.depth + 1, job.root_index});
+          }
+          spawned = children.size();
+          progress.queue_depth = pending.size();
+          if (config.on_progress) {
+            config.on_progress(progress);
+          }
         }
-        spawned = children.size();
-        progress.queue_depth = pending.size();
-        if (config.on_progress) {
-          config.on_progress(progress);
+        for (std::size_t c = 0; c < spawned; ++c) {
+          pool.submit(ticket);
         }
+        return;
       }
-      for (std::size_t c = 0; c < spawned; ++c) {
-        pool.submit(ticket);
-      }
-      return;
     }
 
     CellOutcome outcome;

@@ -39,6 +39,11 @@ struct ReachConfig {
   /// t = jT — this reproduces the *unsound* discrete-instant baseline of
   /// [7] (experiment A6) and must never be used for real verification.
   bool check_intermediate = true;
+  /// NN query cache policy for the abstract controller steps. The cache
+  /// itself lives on the `NeuralController` (drivers apply this config via
+  /// `configure_cache` before analysis); carried here so run reports record
+  /// the mode a result was produced under.
+  NnCacheConfig nn_cache;
   /// Record every flowpipe (memory-heavy; for plots and tests).
   bool record_flowpipes = false;
 };

@@ -149,6 +149,14 @@ std::pair<Box, Box> Box::bisect(std::size_t d) const {
   return {std::move(lower), std::move(upper)};
 }
 
+bool Box::bisectable(std::size_t d) const {
+  if (d >= dims_.size()) {
+    throw std::out_of_range("Box::bisectable: dimension out of range");
+  }
+  const double m = dims_[d].mid();
+  return dims_[d].lo() < m && m < dims_[d].hi();
+}
+
 std::vector<Box> Box::split(const std::vector<std::size_t>& dims_to_split) const {
   std::vector<Box> result{*this};
   for (const std::size_t d : dims_to_split) {

@@ -71,6 +71,12 @@ class Box {
   /// Split along dimension `d` at its midpoint into (lower, upper) halves.
   [[nodiscard]] std::pair<Box, Box> bisect(std::size_t d) const;
 
+  /// True when bisecting dimension `d` makes progress: the midpoint lies
+  /// strictly between the endpoints. False for degenerate or ulp-wide
+  /// dimensions, where one `bisect` child would equal the parent box and a
+  /// refinement loop around it would never terminate.
+  [[nodiscard]] bool bisectable(std::size_t d) const;
+
   /// Split along each listed dimension at its midpoint, yielding
   /// 2^dims.size() sub-boxes whose union covers this box.
   [[nodiscard]] std::vector<Box> split(const std::vector<std::size_t>& dims_to_split) const;

@@ -278,8 +278,13 @@ Interval cos(const Interval& x) {
 }
 
 Interval atan(const Interval& x) {
-  const double lo = std::max(step_down(std::atan(x.lo()), kLibmUlps), -2.0);
-  const double hi = std::min(step_up(std::atan(x.hi()), kLibmUlps), 2.0);
+  // atan ranges over (-pi/2, pi/2), so clamp to a tight outward-rounded
+  // pi/2 enclosure: pi_interval().hi() >= pi and halving is exact in
+  // IEEE-754, so half_pi_hi >= pi/2 with less than one ulp of slack. The
+  // clamp trims the kLibmUlps widening where atan saturates (|x| huge).
+  const double half_pi_hi = pi_interval().hi() * 0.5;
+  const double lo = std::max(step_down(std::atan(x.lo()), kLibmUlps), -half_pi_hi);
+  const double hi = std::min(step_up(std::atan(x.hi()), kLibmUlps), half_pi_hi);
   return make_unchecked(lo, hi);
 }
 

@@ -117,15 +117,27 @@ SymbolicBounds symbolic_propagate(const Network& net, const Box& input) {
   SymbolicBounds result;
   result.input = input;
   result.outputs = std::move(current);
+  result.output_box = concretize_output_box(result.outputs, input);
+  return result;
+}
+
+Box concretize_output_box(const std::vector<NeuronBounds>& outputs, const Box& input) {
   std::vector<Interval> out_dims;
-  out_dims.reserve(result.outputs.size());
-  for (const auto& nb : result.outputs) {
+  out_dims.reserve(outputs.size());
+  for (const auto& nb : outputs) {
     const Interval lo = concretize(nb.lower, input);
     const Interval hi = concretize(nb.upper, input);
-    out_dims.emplace_back(std::min(lo.lo(), hi.hi()), std::max(lo.lo(), hi.hi()));
+    if (lo.lo() <= hi.hi()) {
+      out_dims.emplace_back(lo.lo(), hi.hi());
+    } else {
+      // Crossed bounds: the former min/max swap silently produced the
+      // *inverted* (possibly non-enclosing) interval here; the hull of both
+      // concretizations is conservative no matter which form is off.
+      NNCS_COUNT("nn.crossed_bounds", 1);
+      out_dims.push_back(hull(lo, hi));
+    }
   }
-  result.output_box = Box{std::move(out_dims)};
-  return result;
+  return Box{std::move(out_dims)};
 }
 
 Interval output_difference(const SymbolicBounds& bounds, std::size_t i, std::size_t j) {

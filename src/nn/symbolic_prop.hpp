@@ -51,6 +51,16 @@ SymbolicBounds symbolic_propagate(const Network& net, const Box& input);
 /// slack-inflated).
 Interval concretize(const AffineForm& form, const Box& input);
 
+/// Concretize per-neuron bounds over `input` into an output box: dimension i
+/// is [concretize(lower_i).lo, concretize(upper_i).hi]. If the two
+/// concretizations cross (lower's infimum above upper's supremum — only
+/// possible through rounding slack, never for truly sound forms), the
+/// dimension falls back to the hull of both enclosures, which is a
+/// guaranteed enclosure either way. Shared by `symbolic_propagate` and the
+/// NN query cache's containment reuse (re-concretizing stored forms on a
+/// tighter box).
+Box concretize_output_box(const std::vector<NeuronBounds>& outputs, const Box& input);
+
 /// Enclosure of the *difference* output_i − output_j over the input box,
 /// from the affine bounds (tighter than subtracting concretized intervals
 /// because shared input dependencies cancel symbolically).

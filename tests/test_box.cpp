@@ -91,6 +91,25 @@ TEST(Box, BisectSplitsAtMidpoint) {
   EXPECT_THROW(unit_square().bisect(7), std::out_of_range);
 }
 
+TEST(Box, BisectableDetectsDegenerateAndUlpWideDims) {
+  const Box b{Interval{0.0, 1.0}, Interval{2.0, 2.0},
+              Interval{1.0, std::nextafter(1.0, 2.0)}};
+  EXPECT_TRUE(b.bisectable(0));
+  EXPECT_FALSE(b.bisectable(1));  // degenerate: mid == lo == hi
+  EXPECT_FALSE(b.bisectable(2));  // one ulp wide: mid rounds onto an endpoint
+  EXPECT_THROW((void)b.bisectable(3), std::out_of_range);
+}
+
+TEST(Box, BisectOnNonBisectableDimMakesNoProgress) {
+  // The hazard `bisectable` exists to detect: bisecting a degenerate
+  // dimension returns two children identical to the parent, so a refinement
+  // loop keyed on "did we split" would re-queue the same cell forever.
+  const Box b{Interval{0.0, 1.0}, Interval{2.0, 2.0}};
+  const auto [lower, upper] = b.bisect(1);
+  EXPECT_EQ(lower, b);
+  EXPECT_EQ(upper, b);
+}
+
 TEST(Box, SplitProducesCoveringPartition) {
   const Box b{Interval{0.0, 1.0}, Interval{0.0, 1.0}, Interval{0.0, 1.0}};
   const auto parts = b.split({0, 2});

@@ -12,6 +12,7 @@
 #include "closed_loop_fixtures.hpp"
 #include "core/engine.hpp"
 #include "core/report_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace nncs {
 namespace {
@@ -99,6 +100,49 @@ TEST(Engine, CanonicalReportIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.report.interior_stats.steps_executed, b.report.interior_stats.steps_executed);
   EXPECT_EQ(a.report.interior_stats.total_simulations,
             b.report.interior_stats.total_simulations);
+}
+
+TEST(Engine, DegenerateSplitDimStallsInsteadOfLoopingForever) {
+  // A failing cell that is degenerate in the only split dimension used to be
+  // re-queued with two children identical to itself, refining pointlessly to
+  // max depth. It must instead become an undecided leaf at its current depth
+  // and bump the engine.stalled_splits counter.
+  EngineSetup s;
+  SymbolicSet cells;
+  cells.push_back({Box{Interval{4.0, 5.0}, Interval{2.0, 2.0}}, 0});
+  EngineConfig config = s.config();
+  config.verify.max_refinement_depth = 6;
+
+  obs::set_enabled(true);
+  const std::uint64_t before =
+      obs::Registry::instance().snapshot().counter("engine.stalled_splits");
+  const EngineResult result = s.engine().run(cells, config);
+  const std::uint64_t after =
+      obs::Registry::instance().snapshot().counter("engine.stalled_splits");
+  obs::set_enabled(false);
+
+  ASSERT_EQ(result.report.leaves.size(), 1u);
+  EXPECT_EQ(result.report.leaves[0].depth, 0);
+  EXPECT_NE(result.report.leaves[0].outcome, ReachOutcome::kProvedSafe);
+  EXPECT_GE(after - before, 1u);
+}
+
+TEST(Engine, PartiallyDegenerateCellSplitsRemainingDims) {
+  // Same degenerate-v cell, but with both dimensions listed: the engine
+  // should split the one bisectable dimension (p) and still make progress.
+  EngineSetup s;
+  SymbolicSet cells;
+  cells.push_back({Box{Interval{4.0, 5.0}, Interval{2.0, 2.0}}, 0});
+  EngineConfig config = s.config();
+  config.verify.split_dims = {0, 1};
+  config.verify.max_refinement_depth = 1;
+  const EngineResult result = s.engine().run(cells, config);
+  ASSERT_EQ(result.report.leaves.size(), 2u);
+  for (const CellOutcome& leaf : result.report.leaves) {
+    EXPECT_EQ(leaf.depth, 1);
+    // Only dimension 0 was split; the degenerate dimension is untouched.
+    EXPECT_EQ(leaf.initial.box[1], (Interval{2.0, 2.0}));
+  }
 }
 
 TEST(Engine, StoppedControlCancelsReachAnalyze) {

@@ -218,6 +218,21 @@ TEST(Interval, AtanMonotone) {
   EXPECT_GE(a.hi(), kPi / 4.0);
 }
 
+TEST(Interval, AtanClampsToTightHalfPi) {
+  // Regression: atan used to clamp its saturation bound to a loose +/- 2.0.
+  // The enclosure must stay inside the outward-rounded pi/2 derived from
+  // pi_interval() (halving by 0.5 is exact, so this bound is < 1 ulp loose)
+  // even for huge arguments where libm saturates and the kLibmUlps widening
+  // would otherwise overshoot.
+  const double half_pi_hi = pi_interval().hi() * 0.5;
+  const Interval a = atan(Interval(-1e300, 1e300));
+  EXPECT_LE(a.hi(), half_pi_hi);
+  EXPECT_GE(a.lo(), -half_pi_hi);
+  // Still a genuine enclosure of (-pi/2, pi/2), not an over-tight one.
+  EXPECT_GT(a.hi(), 1.5707);
+  EXPECT_LT(a.lo(), -1.5707);
+}
+
 TEST(Interval, Atan2QuadrantBox) {
   // Box strictly in the first quadrant: tight corner-based result.
   const Interval a = atan2(Interval(1.0, 2.0), Interval(1.0, 2.0));

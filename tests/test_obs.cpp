@@ -37,12 +37,22 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc{};
 }
 
-// Both global operators are replaced, so new's malloc always pairs with
+// The nothrow variant must be replaced too: libstdc++'s temporary buffers
+// (e.g. stable_sort's) allocate with new(nothrow) but release through
+// operator delete. Leaving it to the default (or to ASan's interceptor)
+// makes that pairing an alloc-dealloc mismatch under sanitizers.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++nncs::obs::g_allocations;
+  return std::malloc(size);
+}
+
+// All global operators are replaced, so new's malloc always pairs with
 // delete's free — GCC just can't see across the replacement boundary.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 #pragma GCC diagnostic pop
 
 namespace nncs::obs {

@@ -130,6 +130,32 @@ TEST(SymbolicProp, ConcretizeAffineForm) {
   EXPECT_GE(v.hi(), 2.5 - 1e-9);
 }
 
+TEST(SymbolicProp, ConcretizeOutputBoxHullsCrossedBounds) {
+  // Regression: when accumulated relaxation error makes the concretized
+  // lower bound exceed the concretized upper bound, the output box used to
+  // silently swap min/max and produce an interval that *excludes* the true
+  // range. Crossed bounds must fall back to the hull of both concretized
+  // intervals.
+  NeuronBounds nb;
+  nb.lower = AffineForm{Vec{4.0}, 8.0, 0.0};   // over [-1,1]: [4, 12]
+  nb.upper = AffineForm{Vec{4.0}, -1.0, 0.0};  // over [-1,1]: [-5, 3] — crossed
+  const Box input{Interval{-1.0, 1.0}};
+  const Box out = concretize_output_box({nb}, input);
+  ASSERT_EQ(out.dim(), 1u);
+  // Hull of [4,12] and [-5,3] (concretize adds a whisker of inflation).
+  EXPECT_LE(out[0].lo(), -5.0);
+  EXPECT_GE(out[0].hi(), 12.0);
+}
+
+TEST(SymbolicProp, ConcretizeOutputBoxMatchesPropagatedBox) {
+  // For a well-behaved (non-crossed) network the helper must agree with the
+  // box symbolic_propagate records.
+  const Network net = random_network(42, {2, 3, 2});
+  const Box input(2, Interval{-1.0, 1.0});
+  const auto bounds = symbolic_propagate(net, input);
+  EXPECT_EQ(concretize_output_box(bounds.outputs, input), bounds.output_box);
+}
+
 TEST(SymbolicProp, OutputDifferenceTighterThanBoxDifference) {
   // Two outputs sharing a large common term: y0 = h + x0, y1 = h + x1 where
   // h is a big shared hidden value. Box subtraction loses the cancellation.

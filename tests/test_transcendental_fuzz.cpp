@@ -1,0 +1,154 @@
+// Property-based containment fuzz for the interval transcendentals: for
+// random intervals [x] (mixed widths, including degenerate and near-ulp-wide
+// ones) and random sample points p in [x], the `long double` libm value
+// f(p) must lie inside F([x]). This is the soundness contract every
+// enclosure in the library leans on; the long-double reference is accurate
+// to well under the kLibmUlps outward rounding the implementations apply.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "interval/interval.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+/// A random interval whose lower endpoint is uniform in [lo_min, lo_max]
+/// and whose width is drawn from one of four regimes: degenerate, near-ulp,
+/// narrow, or order-one.
+Interval random_interval(Rng& rng, double lo_min, double lo_max) {
+  const double lo = rng.uniform(lo_min, lo_max);
+  double width = 0.0;
+  switch (rng.uniform_int(0, 3)) {
+    case 1:
+      width = std::abs(rng.normal(1e-13));
+      break;
+    case 2:
+      width = std::abs(rng.normal(1e-4));
+      break;
+    case 3:
+      width = std::abs(rng.normal(1.0));
+      break;
+    default:  // degenerate
+      break;
+  }
+  return Interval{lo, lo + width};
+}
+
+std::vector<double> sample_points(Rng& rng, const Interval& x, int interior) {
+  std::vector<double> pts{x.lo(), x.hi()};
+  for (int i = 0; i < interior; ++i) {
+    pts.push_back(rng.uniform(x.lo(), x.hi()));
+  }
+  return pts;
+}
+
+void expect_contains(const Interval& enclosure, long double ref, const char* fn,
+                     const Interval& x, double p) {
+  EXPECT_LE(static_cast<long double>(enclosure.lo()), ref)
+      << fn << " over " << x << " at p=" << p;
+  EXPECT_GE(static_cast<long double>(enclosure.hi()), ref)
+      << fn << " over " << x << " at p=" << p;
+}
+
+constexpr int kTrials = 400;
+constexpr int kInterior = 4;
+
+TEST(TranscendentalFuzz, SinCosContainLongDoubleReference) {
+  Rng rng(20240801);
+  for (int t = 0; t < kTrials; ++t) {
+    const Interval x = random_interval(rng, -50.0, 50.0);
+    const Interval s = sin(x);
+    const Interval c = cos(x);
+    for (const double p : sample_points(rng, x, kInterior)) {
+      expect_contains(s, sinl(static_cast<long double>(p)), "sin", x, p);
+      expect_contains(c, cosl(static_cast<long double>(p)), "cos", x, p);
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, AtanContainsLongDoubleReference) {
+  Rng rng(20240802);
+  for (int t = 0; t < kTrials; ++t) {
+    // Mix moderate arguments with huge ones where atan saturates near
+    // +/- pi/2 and the tight clamp matters most.
+    const Interval x = rng.chance(0.25) ? random_interval(rng, -1e15, 1e15)
+                                        : random_interval(rng, -100.0, 100.0);
+    const Interval a = atan(x);
+    for (const double p : sample_points(rng, x, kInterior)) {
+      expect_contains(a, atanl(static_cast<long double>(p)), "atan", x, p);
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, Atan2ContainsLongDoubleReference) {
+  Rng rng(20240803);
+  for (int t = 0; t < kTrials; ++t) {
+    // Centered on the origin so branch-cut and origin-containing boxes show
+    // up regularly alongside clean single-quadrant ones.
+    const Interval y = random_interval(rng, -5.0, 5.0);
+    const Interval x = random_interval(rng, -5.0, 5.0);
+    const Interval a = atan2(y, x);
+    for (const double py : sample_points(rng, y, kInterior)) {
+      for (const double px : sample_points(rng, x, 0)) {
+        expect_contains(a, atan2l(static_cast<long double>(py), static_cast<long double>(px)),
+                        "atan2", x, px);
+      }
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, SqrtContainsLongDoubleReference) {
+  Rng rng(20240804);
+  for (int t = 0; t < kTrials; ++t) {
+    const Interval x = random_interval(rng, 0.0, 1e6);
+    const Interval s = sqrt(x);
+    for (const double p : sample_points(rng, x, kInterior)) {
+      expect_contains(s, sqrtl(static_cast<long double>(p)), "sqrt", x, p);
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, ExpContainsLongDoubleReference) {
+  Rng rng(20240805);
+  for (int t = 0; t < kTrials; ++t) {
+    const Interval x = random_interval(rng, -200.0, 200.0);
+    const Interval e = exp(x);
+    for (const double p : sample_points(rng, x, kInterior)) {
+      expect_contains(e, expl(static_cast<long double>(p)), "exp", x, p);
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, LogContainsLongDoubleReference) {
+  Rng rng(20240806);
+  for (int t = 0; t < kTrials; ++t) {
+    // Log-uniform positive lower endpoint spanning ~13 decades.
+    const double lo = std::exp(rng.uniform(-20.0, 10.0));
+    const double width = rng.chance(0.25) ? 0.0 : lo * std::abs(rng.normal(0.5));
+    const Interval x{lo, lo + width};
+    const Interval l = log(x);
+    for (const double p : sample_points(rng, x, kInterior)) {
+      expect_contains(l, logl(static_cast<long double>(p)), "log", x, p);
+    }
+  }
+}
+
+TEST(TranscendentalFuzz, PowContainsLongDoubleReference) {
+  Rng rng(20240807);
+  for (int t = 0; t < kTrials; ++t) {
+    const Interval x = random_interval(rng, -10.0, 10.0);
+    const int n = static_cast<int>(rng.uniform_int(0, 6));
+    const Interval p = pow(x, n);
+    for (const double v : sample_points(rng, x, kInterior)) {
+      expect_contains(p, powl(static_cast<long double>(v), static_cast<long double>(n)),
+                      "pow", x, v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nncs

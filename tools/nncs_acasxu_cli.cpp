@@ -11,6 +11,11 @@
 ///     --m N            validated integration steps M         (default 10)
 ///     --order N        Taylor order of the integrator        (default 4)
 ///     --domain D       nn domain: interval | symbolic | affine (default symbolic)
+///     --nn-cache M     NN query cache: off | memo | containment
+///                      (default from NNCS_NN_CACHE, else memo; memo replays
+///                      exact-match queries only and cannot change results,
+///                      containment also reuses covering symbolic bounds —
+///                      sound but enclosures may widen)
 ///     --strategy S     refinement: all | widest              (default all)
 ///     --threads N      worker threads                        (default: hw)
 ///     --nets DIR       network cache directory               (default ./acasxu_nets_cache)
@@ -83,6 +88,7 @@ void handle_sigint(int) {
   std::fprintf(stderr,
                "usage: %s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
                "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
+               "          [--nn-cache off|memo|containment]\n"
                "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
                "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
                "          [--stop-on-violation] [--checkpoint FILE] [--resume FILE]\n"
@@ -154,6 +160,7 @@ int main(int argc, char** argv) {
   engine_config.time_budget_seconds = env_seconds("NNCS_TIME_BUDGET");
   int taylor_order = 4;
   NnDomain domain = NnDomain::kSymbolic;
+  config.reach.nn_cache = nn_cache_config_from_env();
   std::string nets_dir = "acasxu_nets_cache";
   std::string report_path;
   std::string checkpoint_path = env_path("NNCS_CHECKPOINT");
@@ -203,6 +210,12 @@ int main(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (!std::strcmp(arg, "--nn-cache")) {
+      const auto mode = parse_nn_cache_mode(need_value(i));
+      if (!mode) {
+        usage(argv[0]);
+      }
+      config.reach.nn_cache.mode = *mode;
     } else if (!std::strcmp(arg, "--strategy")) {
       const std::string v = need_value(i);
       if (v == "all") {
@@ -282,6 +295,7 @@ int main(int argc, char** argv) {
   const auto networks = ax::ensure_networks(nets_dir, training);
   const auto plant = ax::make_dynamics();
   const auto controller = ax::make_controller(networks, domain);
+  controller->configure_cache(config.reach.nn_cache);
   const ClosedLoop system{plant.get(), controller.get(), 1.0};
 
   const auto cells = ax::make_initial_cells(scenario);
@@ -337,6 +351,16 @@ int main(int argc, char** argv) {
     std::printf("phases: simulate %.2f s, controller %.2f s, join %.2f s, check %.2f s\n",
                 aggregate.phases.simulate_seconds, aggregate.phases.controller_seconds,
                 aggregate.phases.join_seconds, aggregate.phases.check_seconds);
+  }
+  if (const NnQueryCache* cache = controller->query_cache()) {
+    const NnQueryCache::Stats cs = cache->stats();
+    std::printf("nn-cache (%s): %llu hits / %llu lookups (%.1f%%, %llu containment, "
+                "%llu fallbacks, %llu evictions, %zu entries)\n",
+                to_string(cache->mode()), static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.lookups()), 100.0 * cs.hit_rate(),
+                static_cast<unsigned long long>(cs.containment_hits),
+                static_cast<unsigned long long>(cs.reuse_fallbacks),
+                static_cast<unsigned long long>(cs.evictions), cs.entries);
   }
 
   if (!quiet) {

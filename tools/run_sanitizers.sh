@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build and run the test suite under sanitizers, driven through ctest.
+#
+#   tools/run_sanitizers.sh              # address,undefined over the full suite
+#   tools/run_sanitizers.sh tsan         # thread sanitizer (concurrency tests)
+#   tools/run_sanitizers.sh tsan -R QueryCache   # extra args forwarded to ctest
+#
+# Each mode uses its own build tree (build-asan / build-tsan) so sanitized
+# objects never mix with the regular build. The TSan mode runs the
+# concurrency-heavy suites (engine, obs, NN query cache) by default; ASan/UBSan
+# runs everything.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-asan}"
+shift || true
+
+case "$mode" in
+  asan)
+    build=build-asan
+    sanitize="address,undefined"
+    default_filter=()
+    ;;
+  tsan)
+    build=build-tsan
+    sanitize="thread"
+    # Concurrency-relevant suites; pass your own -R/-E to override.
+    default_filter=(-R "QueryCache|Engine|Obs")
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan] [extra ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$build" -S . -DNNCS_SANITIZE="$sanitize" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)"
+
+filter=("${default_filter[@]}")
+if [ "$#" -gt 0 ]; then
+  filter=("$@")
+fi
+ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "${filter[@]}"
