@@ -11,19 +11,27 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "scenario/scenario.hpp"
 #include "util/env.hpp"
 #include "util/stopwatch.hpp"
 
 namespace nncs::bench {
 
+namespace {
+
+const scenario::Scenario& acas_scenario() { return scenario::Registry::global().at("acasxu"); }
+
+}  // namespace
+
 AcasSystem make_acas_system(NnDomain domain, const NnCacheConfig& nn_cache) {
-  const acasxu::TrainingConfig training;
-  const auto networks = acasxu::ensure_networks("acasxu_nets_cache", training);
+  scenario::SystemConfig config;
+  config.domain = domain;
+  config.nn_cache = nn_cache;
+  scenario::System assembled = acas_scenario().make_system(config);
   AcasSystem system;
-  system.plant = acasxu::make_dynamics();
-  system.controller = acasxu::make_controller(networks, domain);
-  system.controller->configure_cache(nn_cache);
-  system.loop = ClosedLoop{system.plant.get(), system.controller.get(), 1.0};
+  system.plant = std::move(assembled.plant);
+  system.controller = std::move(assembled.controller);
+  system.loop = assembled.loop;
   return system;
 }
 
@@ -126,27 +134,22 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
 
   std::printf("[acas-bench] running verification (%zu arcs x %zu headings, depth %d)...\n",
               num_arcs, num_headings, max_depth);
+  const scenario::Scenario& scen = acas_scenario();
+  obs::set_scenario(scen.name());
   AcasSystem system = make_acas_system();
-  acasxu::ScenarioConfig scenario;
-  scenario.num_arcs = num_arcs;
-  scenario.num_headings = num_headings;
-  const auto cells = acasxu::make_initial_cells(scenario);
-  const auto error = acasxu::make_error_region(scenario);
-  const auto target = acasxu::make_target_region(scenario);
+  const auto cells = scen.make_cells(scenario::Partition{num_arcs, num_headings});
+  const auto error = scen.make_error_region();
+  const auto target = scen.make_target_region();
 
-  const TaylorIntegrator integrator;
-  VerifyConfig config;
-  config.reach.control_steps = 20;      // τ = 20 s (paper)
-  config.reach.integration_steps = 10;  // M = 10 (paper)
-  config.reach.gamma = 5;               // Γ = P (paper)
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{scen.default_taylor_order(), {}});
+  VerifyConfig config = scen.default_config();  // paper knobs: τ = 20 s, M = 10, Γ = P = 5
   config.reach.integrator = &integrator;
   config.reach.nn_cache = nn_cache_config_from_env();  // applied in make_acas_system
   config.max_refinement_depth = max_depth;
-  config.split_dims = acasxu::split_dimensions();
   config.threads = env_threads();
 
   Stopwatch watch;
-  const VerificationEngine engine(system.loop, error, target);
+  const VerificationEngine engine(system.loop, *error, *target);
   EngineConfig engine_config;
   engine_config.verify = config;
   engine_config.on_progress = [](const EngineProgress& p) {
@@ -156,7 +159,7 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
     }
   };
   const VerifyReport report =
-      engine.run(acasxu::to_symbolic_set(cells), engine_config).report;
+      engine.run(scenario::to_symbolic_set(cells), engine_config).report;
 
   result.root_cells = report.root_cells;
   result.coverage_percent = report.coverage_percent;
@@ -168,8 +171,8 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
     CellRecord rec;
     rec.root_index = leaf.root_index;
     rec.depth = leaf.depth;
-    rec.bearing_lo = cells[leaf.root_index].bearing_lo;
-    rec.bearing_hi = cells[leaf.root_index].bearing_hi;
+    rec.bearing_lo = cells[leaf.root_index].bin_lo;
+    rec.bearing_hi = cells[leaf.root_index].bin_hi;
     rec.proved = leaf.outcome == ReachOutcome::kProvedSafe;
     rec.outcome = to_string(leaf.outcome);
     rec.seconds = leaf.stats.seconds;

@@ -1,9 +1,9 @@
 #pragma once
 
-// Shared infrastructure for the ACAS Xu figure benches: the trained
-// controller (cached on disk), a standard verification run (cached as CSV so
-// fig9a / fig9b / headline share one expensive computation), and common
-// formatting helpers.
+// Shared infrastructure for the ACAS Xu figure benches: the registered
+// "acasxu" scenario's closed loop (networks cached on disk), a standard
+// verification run (cached as CSV so fig9a / fig9b / headline share one
+// expensive computation), and common formatting helpers.
 
 #include <filesystem>
 #include <memory>
@@ -17,18 +17,20 @@
 
 namespace nncs::bench {
 
-/// The assembled ACAS Xu closed loop (owning all parts).
+/// The assembled ACAS Xu closed loop (owning all parts). Benches that sweep
+/// individual knobs still drive `loop` directly with their own cells and
+/// regions (via the `acasxu::` helpers included above).
 struct AcasSystem {
   std::unique_ptr<Dynamics> plant;
   std::unique_ptr<NeuralController> controller;
   ClosedLoop loop;
-  acasxu::ScenarioConfig scenario;
 };
 
-/// Load (or train once and cache) the 5 advisory networks and assemble the
-/// closed loop with the paper's parameters (T = 1 s). The NN query cache
-/// defaults to the `NNCS_NN_CACHE` environment policy (memo when unset);
-/// pass an explicit config to pin a mode (the nn_cache bench sweeps them).
+/// Assemble the registered "acasxu" scenario's closed loop — loading (or
+/// training once and caching) the 5 advisory networks with the paper's
+/// parameters (T = 1 s). The NN query cache defaults to the `NNCS_NN_CACHE`
+/// environment policy (memo when unset); pass an explicit config to pin a
+/// mode (the nn_cache bench sweeps them).
 AcasSystem make_acas_system(NnDomain domain = NnDomain::kSymbolic,
                             const NnCacheConfig& nn_cache = nn_cache_config_from_env());
 
@@ -59,10 +61,12 @@ struct AcasRunResult {
   ReachStats aggregate;
 };
 
-/// Run the standard §7 verification at the given partition scale, or load
-/// identical cached results from `acas_fig9_cache_<arcs>x<headings>d<depth>.csv`
-/// in the working directory. The cache also stores the wall-clock of the
-/// original run so timing rows stay meaningful.
+/// Run the standard §7 verification at the given partition scale (cells,
+/// specs and analysis knobs all come from the registered "acasxu" scenario),
+/// or load identical cached results from
+/// `acas_fig9_cache_<arcs>x<headings>d<depth>.csv` in the working directory.
+/// The cache also stores the wall-clock of the original run so timing rows
+/// stay meaningful.
 AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_headings,
                                        int max_depth);
 

@@ -1,7 +1,10 @@
 /// ACAS Xu system-level safety verification (the paper's §7 experiment at
 /// example scale): partition the initial encounter geometries, run the
 /// reachability analysis per cell with split refinement, and print the
-/// safe / not-proved map plus the coverage metric.
+/// safe / not-proved map plus the coverage metric. The workload comes from
+/// the registered "acasxu" scenario (src/scenario/acasxu_scenario.cpp); the
+/// full-featured driver for the same runs is `nncs_verify --scenario acasxu`
+/// (or its alias `nncs_acasxu_cli`).
 ///
 /// Usage: acasxu_verify [num_arcs] [num_headings] [max_depth]
 /// The 5 advisory networks are trained on first use and cached in
@@ -12,49 +15,37 @@
 #include <map>
 #include <string>
 
-#include "acasxu/controller.hpp"
-#include "acasxu/dynamics.hpp"
-#include "acasxu/scenario.hpp"
-#include "acasxu/training_pipeline.hpp"
 #include "core/verifier.hpp"
+#include "scenario/scenario.hpp"
 #include "util/env.hpp"
 
 int main(int argc, char** argv) {
   using namespace nncs;
-  namespace ax = nncs::acasxu;
 
-  ax::ScenarioConfig scenario;
-  scenario.num_arcs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
-  scenario.num_headings = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+  scenario::Partition partition;
+  partition.axis0 = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+  partition.axis1 = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
   const int max_depth = argc > 3 ? std::atoi(argv[3]) : 1;
 
+  const scenario::Scenario& scen = scenario::Registry::global().at("acasxu");
+  partition = scenario::resolve(scen, partition);
   std::printf("ACAS Xu verification: %zu arcs x %zu headings, refinement depth %d\n",
-              scenario.num_arcs, scenario.num_headings, max_depth);
+              partition.axis0, partition.axis1, max_depth);
 
   std::printf("loading / training the 5 advisory networks...\n");
-  const ax::TrainingConfig training;
-  const auto networks = ax::ensure_networks("acasxu_nets_cache", training);
+  const scenario::System system = scen.make_system(scenario::SystemConfig{});
+  const auto cells = scen.make_cells(partition);
+  const auto error = scen.make_error_region();
+  const auto target = scen.make_target_region();
 
-  const auto plant = ax::make_dynamics();
-  const auto controller = ax::make_controller(networks);
-  const ClosedLoop system{plant.get(), controller.get(), 1.0};
-
-  const auto cells = ax::make_initial_cells(scenario);
-  const auto error = ax::make_error_region(scenario);
-  const auto target = ax::make_target_region(scenario);
-
-  const TaylorIntegrator integrator;
-  VerifyConfig config;
-  config.reach.control_steps = 20;  // τ = 20 s (paper)
-  config.reach.integration_steps = 10;  // M = 10 (paper)
-  config.reach.gamma = 5;               // Γ = P = 5 (paper)
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{scen.default_taylor_order(), {}});
+  VerifyConfig config = scen.default_config();  // paper knobs: τ = 20 s, M = 10, Γ = P = 5
   config.reach.integrator = &integrator;
   config.max_refinement_depth = max_depth;
-  config.split_dims = ax::split_dimensions();
   config.threads = env_threads();
 
-  const Verifier verifier(system, error, target);
-  const VerifyReport report = verifier.verify(ax::to_symbolic_set(cells), config);
+  const Verifier verifier(system.loop, *error, *target);
+  const VerifyReport report = verifier.verify(scenario::to_symbolic_set(cells), config);
 
   // ASCII map: rows = heading cells, columns = arcs; '#' proved at depth 0,
   // '+' proved via refinement (partially green), 'x' not proved.
@@ -63,7 +54,7 @@ int main(int argc, char** argv) {
     // Recover the (arc, heading) indices from the root index (cells are
     // generated arc-major).
     const std::size_t root = leaf.root_index;
-    const auto key = std::make_pair(root / scenario.num_headings, root % scenario.num_headings);
+    const auto key = std::make_pair(root / partition.axis1, root % partition.axis1);
     char& c = map[key];
     const bool proved = leaf.outcome == ReachOutcome::kProvedSafe;
     if (c == 0) {
@@ -75,8 +66,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nmap (columns: bearing from -pi to pi; rows: heading within cone)\n");
-  for (std::size_t h = 0; h < scenario.num_headings; ++h) {
-    for (std::size_t a = 0; a < scenario.num_arcs; ++a) {
+  for (std::size_t h = 0; h < partition.axis1; ++h) {
+    for (std::size_t a = 0; a < partition.axis0; ++a) {
       std::printf("%c", map.count({a, h}) ? map[{a, h}] : '?');
     }
     std::printf("\n");

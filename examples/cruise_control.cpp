@@ -1,125 +1,40 @@
 /// Adaptive cruise control (ACC) — a standard closed-loop NN verification
 /// benchmark, here used to demonstrate *bounded-horizon* safety with no
-/// termination set.
-///
-///   state s = (d, vr)   d  = gap to the lead vehicle (m),
-///                       vr = v_lead − v_ego (m/s; negative = closing)
-///   dynamics d' = vr,  vr' = −u        (lead at constant speed,
-///                                        u = ego acceleration)
-/// The controller runs every T = 0.25 s and picks the ego acceleration from
-/// {−3, −1, 0, +2} m/s² with a network imitating a linear spacing policy.
+/// termination set. The whole workload (plant, trained controller, specs,
+/// partition, analysis knobs) lives in the registered "cruise_control"
+/// scenario (src/scenario/cruise_control.cpp); this example just runs it at
+/// default scale and reports the verdict. The same run is available as
+/// `nncs_verify --scenario cruise_control`.
 ///
 /// Property: from any d0 ∈ [30, 80] m, vr0 ∈ [−6, 2] m/s, the gap provably
-/// never drops below 2 m during the first 6 s (the closing phase). With no target set the
-/// successful verdict is `kHorizonExhausted` with no error intersection.
+/// never drops below 2 m during the first 6 s (the closing phase). With no
+/// target set the successful verdict is `kHorizonExhausted` with no error
+/// intersection. The controller network is trained on first use and cached
+/// in ./cruise_control_nets_cache/.
 
-#include <algorithm>
 #include <cstdio>
-#include <memory>
 
-#include "core/reachability.hpp"
 #include "core/verifier.hpp"
-#include "nn/trainer.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-using namespace nncs;
-
-constexpr double kPeriod = 0.25;
-const Vec kAccels{-3.0, -1.0, 0.0, 2.0};
-
-struct AccField {
-  template <class S>
-  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
-    out[0] = s[1] + 0.0 * s[0];  // d'  = vr
-    out[1] = -u[0] + 0.0 * s[1];  // vr' = −u
-  }
-};
-
-/// Spacing policy the network imitates: drive the gap toward a headway
-/// target and damp the closing speed (saturated linear feedback).
-double expert_accel(double d, double vr) {
-  const double d_target = 15.0;
-  return std::clamp(0.08 * (d - d_target) + 0.9 * vr, -3.0, 2.0);
-}
-
-Network train_policy_network() {
-  Dataset data;
-  Rng rng(21);
-  for (int i = 0; i < 12000; ++i) {
-    const double d = rng.uniform(0.0, 100.0);
-    const double vr = rng.uniform(-10.0, 6.0);
-    const double u_star = expert_accel(d, vr);
-    Vec scores(kAccels.size());
-    for (std::size_t k = 0; k < kAccels.size(); ++k) {
-      scores[k] = std::fabs(kAccels[k] - u_star) / 5.0;  // argmin snaps to nearest
-    }
-    data.add(Vec{d / 100.0, vr / 10.0}, scores);
-  }
-  TrainerConfig config;
-  config.hidden = {24, 24};
-  config.epochs = 50;
-  config.learning_rate = 2e-3;
-  config.seed = 22;
-  return Trainer(config).train(data, 2, kAccels.size());
-}
-
-class AccPre final : public Preprocessor {
- public:
-  [[nodiscard]] std::size_t input_dim() const override { return 2; }
-  [[nodiscard]] std::size_t output_dim() const override { return 2; }
-  [[nodiscard]] Vec eval(const Vec& s) const override { return Vec{s[0] / 100.0, s[1] / 10.0}; }
-  [[nodiscard]] Box eval_abstract(const Box& s) const override {
-    return Box{s[0] / Interval{100.0}, s[1] / Interval{10.0}};
-  }
-};
-
-}  // namespace
+#include "scenario/scenario.hpp"
 
 int main() {
+  using namespace nncs;
+
   std::printf("cruise control: bounded-horizon safety of a learned spacing policy\n\n");
 
-  const auto plant = make_dynamics(2, 1, AccField{});
-  std::vector<Vec> commands;
-  for (const double a : kAccels) {
-    commands.push_back(Vec{a});
-  }
-  std::vector<Network> networks;
-  networks.push_back(train_policy_network());
-  std::vector<std::size_t> selector(commands.size(), 0);  // one shared network
-  NeuralController controller(CommandSet{std::move(commands)}, std::move(networks),
-                              std::move(selector), std::make_unique<AccPre>(),
-                              std::make_unique<ArgminPost>());
-  const ClosedLoop system{plant.get(), &controller, kPeriod};
+  const scenario::Scenario& scen = scenario::Registry::global().at("cruise_control");
+  const scenario::System system = scen.make_system(scenario::SystemConfig{});
+  const auto error = scen.make_error_region();
+  const auto target = scen.make_target_region();
+  const auto cells = scen.make_cells(scenario::Partition{});
 
-  const BoxRegion error({{0, Interval{-1e6, 2.0}}});  // E: gap <= 2 m
-  const EmptyRegion no_target;                        // pure horizon property
-
-  SymbolicSet cells;
-  const int kD = 10, kV = 8;
-  for (int i = 0; i < kD; ++i) {
-    for (int j = 0; j < kV; ++j) {
-      const double d_lo = 30.0 + 50.0 * i / kD;
-      const double v_lo = -6.0 + 8.0 * j / kV;
-      cells.push_back(SymbolicState{
-          Box{Interval{d_lo, d_lo + 50.0 / kD}, Interval{v_lo, v_lo + 8.0 / kV}},
-          2});  // initial command: coast (u = 0)
-    }
-  }
-
-  const TaylorIntegrator integrator;
-  VerifyConfig config;
-  config.reach.control_steps = 24;  // τ = 6 s
-  config.reach.integration_steps = 2;
-  config.reach.gamma = 24;
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{scen.default_taylor_order(), {}});
+  VerifyConfig config = scen.default_config();
   config.reach.integrator = &integrator;
-  config.max_refinement_depth = 1;
-  config.split_dims = {0, 1};
   config.threads = 4;
 
-  const Verifier verifier(system, error, no_target);
-  const VerifyReport report = verifier.verify(cells, config);
+  const Verifier verifier(system.loop, *error, *target);
+  const VerifyReport report = verifier.verify(scenario::to_symbolic_set(cells), config);
 
   std::size_t safe_horizon = 0;
   for (const auto& leaf : report.leaves) {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/run_control.hpp"
@@ -27,6 +28,13 @@ struct VerifyJob {
 struct EngineCheckpoint {
   /// Size of the original depth-0 partition (consistency check on resume).
   std::size_t root_cells = 0;
+  /// Scenario name and parameter fingerprint the run was produced under
+  /// (empty on engine-made checkpoints and legacy v1 files; drivers stamp
+  /// them before saving). A resume under a different scenario or partition
+  /// is refused by the CLI — a mismatched frontier would silently verify
+  /// the wrong cells.
+  std::string scenario;
+  std::string fingerprint;
   /// Accumulated ReachStats of interior (refined-away) cells.
   ReachStats interior_stats;
   std::vector<CellOutcome> leaves;

@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace nncs {
@@ -16,6 +17,7 @@ namespace {
 constexpr const char* kMagicV1 = "nncs-report v1";
 constexpr const char* kMagicV2 = "nncs-report v2";
 constexpr const char* kMagicCheckpoint = "nncs-checkpoint v1";
+constexpr const char* kMagicCheckpointV2 = "nncs-checkpoint v2";
 /// Fixed leaf-row columns before the box lo/hi pairs.
 constexpr std::size_t kLeafFixedV1 = 5;
 constexpr std::size_t kLeafFixedV2 = 13;
@@ -203,7 +205,20 @@ VerifyReport load_report(const std::filesystem::path& path) {
 
 void save_checkpoint(const EngineCheckpoint& checkpoint, std::ostream& os) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << kMagicCheckpoint << ',' << checkpoint.root_cells << '\n';
+  // v2 appends the scenario identity to the header; checkpoints with no
+  // scenario stamp (engine-internal, legacy drivers) keep writing v1 so
+  // their byte layout is unchanged.
+  if (checkpoint.scenario.empty() && checkpoint.fingerprint.empty()) {
+    os << kMagicCheckpoint << ',' << checkpoint.root_cells << '\n';
+  } else {
+    if (checkpoint.scenario.find(',') != std::string::npos ||
+        checkpoint.fingerprint.find(',') != std::string::npos) {
+      throw std::invalid_argument(
+          "report_io: checkpoint scenario/fingerprint must not contain commas");
+    }
+    os << kMagicCheckpointV2 << ',' << checkpoint.root_cells << ',' << checkpoint.scenario
+       << ',' << checkpoint.fingerprint << '\n';
+  }
   const ReachStats& s = checkpoint.interior_stats;
   os << "interior," << s.steps_executed << ',' << s.joins << ',' << s.max_states << ','
      << s.total_simulations << ',' << s.seconds << ',' << s.phases.simulate_seconds << ','
@@ -240,10 +255,15 @@ EngineCheckpoint load_checkpoint(std::istream& is) {
     throw ReportFormatError("report_io: empty checkpoint input");
   }
   const auto head_cells = split_csv(header);
-  if (head_cells.size() != 2 || head_cells[0] != kMagicCheckpoint) {
-    throw ReportFormatError("report_io: bad header (not a nncs-checkpoint v1 file)");
-  }
   EngineCheckpoint checkpoint;
+  if (head_cells.size() == 2 && head_cells[0] == kMagicCheckpoint) {
+    // v1: no scenario stamp (accepted; the CLI warns it cannot validate).
+  } else if (head_cells.size() == 4 && head_cells[0] == kMagicCheckpointV2) {
+    checkpoint.scenario = head_cells[2];
+    checkpoint.fingerprint = head_cells[3];
+  } else {
+    throw ReportFormatError("report_io: bad header (not a nncs-checkpoint v1/v2 file)");
+  }
   checkpoint.root_cells = parse_size(head_cells[1]);
 
   const auto interior_cells = split_csv(read_line_or_throw(is, "interior stats"));

@@ -36,10 +36,12 @@ class ReportFormatError : public std::runtime_error {
 VerifyReport load_report(std::istream& is);
 VerifyReport load_report(const std::filesystem::path& path);
 
-/// Checkpoint serialization (`nncs-checkpoint v1`): an interrupted engine
+/// Checkpoint serialization (`nncs-checkpoint v2`): an interrupted engine
 /// run's completed leaves, interior-cell stats and unfinished frontier, so
 /// hours of verification survive a deadline or SIGKILL. Layout:
-///   `nncs-checkpoint v1,<root_cells>`
+///   `nncs-checkpoint v2,<root_cells>,<scenario>,<fingerprint>`
+/// (v1 headers — `nncs-checkpoint v1,<root_cells>` — are still written when
+/// no scenario stamp is set, and still loaded, with both fields empty)
 ///   `interior,<steps>,<joins>,<max_states>,<sims>,<s>,<sim_s>,<ctrl_s>,<join_s>,<check_s>`
 ///   `leaves,<count>` then `count` leaf rows (the report-v2 leaf format)
 ///   `frontier,<count>` then `count` rows `root_index,depth,command,lo0,hi0,...`

@@ -29,12 +29,22 @@ void write_phases(obs::JsonWriter& w, const PhaseBreakdown& phases) {
 }  // namespace
 
 void write_run_report(std::ostream& os, std::string_view label, const VerifyReport& report,
-                      const VerifyConfig& config) {
+                      const VerifyConfig& config, const RunScenarioMeta* scenario) {
   const ReachStats aggregate = aggregate_stats(report);
   obs::JsonWriter w(os);
   w.begin_object();
   w.field("schema", "nncs-run v1");
   w.field("label", label);
+  if (scenario) {
+    w.key("scenario").begin_object();
+    w.field("name", scenario->name).field("fingerprint", scenario->fingerprint);
+    w.key("parameters").begin_object();
+    for (const auto& [key, value] : scenario->parameters) {
+      w.field(key, value);
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.key("provenance");
   obs::write_provenance(w, obs::collect_provenance());
 
@@ -102,12 +112,13 @@ void write_run_report(std::ostream& os, std::string_view label, const VerifyRepo
 }
 
 void write_run_report(const std::filesystem::path& path, std::string_view label,
-                      const VerifyReport& report, const VerifyConfig& config) {
+                      const VerifyReport& report, const VerifyConfig& config,
+                      const RunScenarioMeta* scenario) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("run_report: cannot open for writing: " + path.string());
   }
-  write_run_report(out, label, report, config);
+  write_run_report(out, label, report, config, scenario);
 }
 
 }  // namespace nncs

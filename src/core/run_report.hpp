@@ -2,21 +2,36 @@
 
 #include <filesystem>
 #include <iosfwd>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/verifier.hpp"
 
 namespace nncs {
 
+/// Scenario identity attached to a run report so artifacts produced by
+/// different workloads stay distinguishable. Plain strings: core stays
+/// independent of the scenario layer that fills them.
+struct RunScenarioMeta {
+  std::string name;
+  std::string fingerprint;
+  /// Ordered (key, value) scenario parameters.
+  std::vector<std::pair<std::string, std::string>> parameters;
+};
+
 /// Machine-readable verification run report (`nncs-run v1` JSON): the
 /// VerifyReport summary with the aggregated per-phase stats, the full
-/// Reach/Verify configuration, build/config provenance (git SHA,
-/// NNCS_SCALE, thread count) and a snapshot of every telemetry counter and
-/// histogram. This is the artifact perf PRs diff against; benches write the
-/// sibling `BENCH_<name>.json` through the same schema helpers.
+/// Reach/Verify configuration, the scenario identity (when given),
+/// build/config provenance (git SHA, NNCS_SCALE, thread count) and a
+/// snapshot of every telemetry counter and histogram. This is the artifact
+/// perf PRs diff against; benches write the sibling `BENCH_<name>.json`
+/// through the same schema helpers.
 void write_run_report(std::ostream& os, std::string_view label, const VerifyReport& report,
-                      const VerifyConfig& config);
+                      const VerifyConfig& config, const RunScenarioMeta* scenario = nullptr);
 void write_run_report(const std::filesystem::path& path, std::string_view label,
-                      const VerifyReport& report, const VerifyConfig& config);
+                      const VerifyReport& report, const VerifyConfig& config,
+                      const RunScenarioMeta* scenario = nullptr);
 
 }  // namespace nncs

@@ -11,7 +11,24 @@
 #define NNCS_BUILD_TYPE "unknown"
 #endif
 
+#include <mutex>
+
 namespace nncs::obs {
+
+namespace {
+
+std::mutex g_scenario_mutex;
+std::string& scenario_slot() {
+  static std::string name;
+  return name;
+}
+
+}  // namespace
+
+void set_scenario(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(g_scenario_mutex);
+  scenario_slot() = name;
+}
 
 Provenance collect_provenance() {
   Provenance p;
@@ -22,6 +39,10 @@ Provenance collect_provenance() {
 #else
   p.compiler = "unknown";
 #endif
+  {
+    const std::lock_guard<std::mutex> lock(g_scenario_mutex);
+    p.scenario = scenario_slot();
+  }
   p.nncs_scale = env_scale();
   p.nncs_threads = env_threads();
   p.telemetry_enabled = enabled();
@@ -33,6 +54,7 @@ void write_provenance(JsonWriter& w, const Provenance& p) {
       .field("git_sha", p.git_sha)
       .field("build_type", p.build_type)
       .field("compiler", p.compiler)
+      .field("scenario", p.scenario)
       .field("nncs_scale", p.nncs_scale)
       .field("nncs_threads", static_cast<std::uint64_t>(p.nncs_threads))
       .field("telemetry_enabled", p.telemetry_enabled)

@@ -14,6 +14,9 @@ struct Provenance {
   std::string git_sha;     ///< compiled in at configure time ("unknown" outside git)
   std::string build_type;  ///< CMAKE_BUILD_TYPE
   std::string compiler;    ///< compiler id/version string
+  /// Active verification scenario (see set_scenario); "" when no scenario
+  /// driver is involved (unit tests, scenario-agnostic tools).
+  std::string scenario;
   double nncs_scale = 1.0;
   std::size_t nncs_threads = 1;
   bool telemetry_enabled = false;
@@ -21,6 +24,12 @@ struct Provenance {
 
 /// Collect the current process provenance (env knobs read at call time).
 Provenance collect_provenance();
+
+/// Declare the scenario this process is verifying. Stamped into every
+/// subsequently collected provenance block, which makes the nn.cache.* /
+/// engine.* metrics in BENCH_*.json and run reports attributable to a
+/// workload. Call once from the driver before analysis; thread-safe.
+void set_scenario(const std::string& name);
 
 /// Emit as a JSON object value (caller positions the writer at a value
 /// slot, e.g. after key("provenance")).

@@ -1,0 +1,14 @@
+#include "scenario/acasxu_scenario.hpp"
+#include "scenario/cruise_control.hpp"
+#include "scenario/unicycle.hpp"
+#include "scenario/scenario.hpp"
+
+namespace nncs::scenario {
+
+void register_builtins(Registry& registry) {
+  registry.add(make_acasxu_scenario());
+  registry.add(make_cruise_control_scenario());
+  registry.add(make_unicycle_scenario());
+}
+
+}  // namespace nncs::scenario

@@ -1,0 +1,66 @@
+#include "scenario/net_cache.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/nnet_io.hpp"
+
+namespace nncs::scenario {
+
+namespace {
+
+std::filesystem::path net_path(const std::filesystem::path& dir, std::size_t index) {
+  return dir / ("net_" + std::to_string(index) + ".nnet");
+}
+
+std::filesystem::path stamp_path(const std::filesystem::path& dir) { return dir / "stamp.txt"; }
+
+bool cache_valid(const std::filesystem::path& dir, const std::string& stamp,
+                 std::size_t count) {
+  std::ifstream in(stamp_path(dir));
+  if (!in) {
+    return false;
+  }
+  std::string cached((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (cached != stamp) {
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::filesystem::exists(net_path(dir, i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Network> ensure_networks(const std::filesystem::path& cache_dir,
+                                     const std::string& stamp, std::size_t count,
+                                     const std::function<std::vector<Network>()>& train) {
+  if (cache_valid(cache_dir, stamp, count)) {
+    std::vector<Network> networks;
+    networks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      networks.push_back(load_network(net_path(cache_dir, i)));
+    }
+    return networks;
+  }
+  std::vector<Network> networks = train();
+  if (networks.size() != count) {
+    throw std::logic_error("net_cache: trainer returned " + std::to_string(networks.size()) +
+                           " networks, expected " + std::to_string(count));
+  }
+  std::filesystem::create_directories(cache_dir);
+  for (std::size_t i = 0; i < count; ++i) {
+    save_network(networks[i], net_path(cache_dir, i));
+  }
+  std::ofstream out(stamp_path(cache_dir));
+  out << stamp;
+  if (!out) {
+    throw std::runtime_error("net_cache: cannot write stamp in " + cache_dir.string());
+  }
+  return networks;
+}
+
+}  // namespace nncs::scenario

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace nncs::scenario {
+
+/// Generic on-disk cache for a scenario's trained controller networks — the
+/// mechanism behind `acasxu::ensure_networks`, factored out so every
+/// registered scenario gets the same train-once behavior. Layout:
+/// `<cache_dir>/net_<i>.nnet` plus `<cache_dir>/stamp.txt` holding `stamp`.
+///
+/// Loads the `count` cached networks when the stamp matches (meaning the
+/// training configuration is identical); otherwise calls `train`, which
+/// must return exactly `count` networks, and (re)populates the cache.
+/// Training must be deterministic for a fixed stamp, so cached and
+/// freshly-trained runs verify identically.
+std::vector<Network> ensure_networks(const std::filesystem::path& cache_dir,
+                                     const std::string& stamp, std::size_t count,
+                                     const std::function<std::vector<Network>()>& train);
+
+}  // namespace nncs::scenario

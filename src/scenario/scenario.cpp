@@ -1,0 +1,123 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace nncs::scenario {
+
+namespace {
+
+/// Commas would split the checkpoint CSV header; newlines would truncate
+/// it. Scenario names/values should never contain them, but the
+/// fingerprint is a durable on-disk identity, so sanitize defensively.
+std::string sanitized(std::string text) {
+  for (char& c : text) {
+    if (c == ',' || c == '\n' || c == '\r') {
+      c = '|';
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Partition resolve(const Scenario& scenario, Partition partition) {
+  const Partition defaults = scenario.default_partition();
+  if (partition.axis0 == 0) {
+    partition.axis0 = defaults.axis0;
+  }
+  if (partition.axis1 == 0) {
+    partition.axis1 = defaults.axis1;
+  }
+  return partition;
+}
+
+SymbolicSet to_symbolic_set(const std::vector<Cell>& cells) {
+  SymbolicSet set;
+  set.reserve(cells.size());
+  for (const auto& cell : cells) {
+    set.push_back(cell.state);
+  }
+  return set;
+}
+
+std::string fingerprint(const Scenario& scenario, Partition partition) {
+  partition = resolve(scenario, partition);
+  const auto [axis0, axis1] = scenario.axis_names();
+  std::ostringstream oss;
+  oss << scenario.name() << ';' << scenario.version() << ';' << axis0 << '=' << partition.axis0
+      << ';' << axis1 << '=' << partition.axis1;
+  for (const auto& [key, value] : scenario.parameters()) {
+    oss << ';' << key << '=' << value;
+  }
+  return sanitized(oss.str());
+}
+
+void Registry::add(std::unique_ptr<Scenario> scenario) {
+  if (!scenario) {
+    throw std::invalid_argument("scenario registry: cannot register null scenario");
+  }
+  const std::string name = scenario->name();
+  if (name.empty()) {
+    throw std::invalid_argument("scenario registry: scenario name must be non-empty");
+  }
+  if (name.find(',') != std::string::npos || name.find(' ') != std::string::npos) {
+    throw std::invalid_argument("scenario registry: invalid name '" + name + "'");
+  }
+  const auto [it, inserted] = scenarios_.emplace(name, std::move(scenario));
+  if (!inserted) {
+    throw std::invalid_argument("scenario registry: duplicate scenario '" + name + "'");
+  }
+}
+
+const Scenario* Registry::find(std::string_view name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : it->second.get();
+}
+
+const Scenario& Registry::at(std::string_view name) const {
+  const Scenario* scenario = find(name);
+  if (!scenario) {
+    throw std::out_of_range("unknown scenario '" + std::string(name) + "' (registered: " +
+                            names() + ")");
+  }
+  return *scenario;
+}
+
+std::vector<const Scenario*> Registry::all() const {
+  std::vector<const Scenario*> result;
+  result.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    result.push_back(scenario.get());
+  }
+  return result;  // std::map iterates name-sorted
+}
+
+void Registry::for_each(const std::function<void(const Scenario&)>& fn) const {
+  for (const auto& [name, scenario] : scenarios_) {
+    fn(*scenario);
+  }
+}
+
+std::string Registry::names() const {
+  std::string result;
+  for (const auto& [name, scenario] : scenarios_) {
+    if (!result.empty()) {
+      result += ", ";
+    }
+    result += name;
+  }
+  return result;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    auto* registry = new Registry;
+    register_builtins(*registry);
+    return registry;
+  }();
+  return *instance;
+}
+
+}  // namespace nncs::scenario

@@ -1,439 +1,20 @@
-/// Command-line driver for the ACAS Xu verification pipeline — the entry
-/// point a downstream user scripts against. Exposes every experiment knob
-/// and writes a machine-readable report.
+/// Compatibility driver for the ACAS Xu verification pipeline: exactly
+/// `nncs_verify --scenario acasxu`, with the scenario pinned and the
+/// --scenario/--list-scenarios flags removed. Kept so existing scripts and
+/// canonical-report baselines continue to work unchanged — reports are
+/// byte-identical with the generic driver's. See tools/nncs_verify.cpp for
+/// the full option reference.
 ///
-///   nncs_acasxu_cli [options]
-///     --arcs N         bearing arcs in the partition         (default 32)
-///     --headings N     heading cells per arc                 (default 8)
-///     --depth N        max split-refinement depth            (default 1)
-///     --gamma N        symbolic-set threshold Γ, >= 1        (default 5)
-///     --steps N        control steps q (τ = q·T)             (default 20)
-///     --m N            validated integration steps M         (default 10)
-///     --order N        Taylor order of the integrator        (default 4)
-///     --domain D       nn domain: interval | symbolic | affine (default symbolic)
-///     --nn-cache M     NN query cache: off | memo | containment
-///                      (default from NNCS_NN_CACHE, else memo; memo replays
-///                      exact-match queries only and cannot change results,
-///                      containment also reuses covering symbolic bounds —
-///                      sound but enclosures may widen)
-///     --strategy S     refinement: all | widest              (default all)
-///     --threads N      worker threads                        (default: hw)
-///     --nets DIR       network cache directory               (default ./acasxu_nets_cache)
-///     --report FILE    write the full report CSV here
-///     --canonical-report  zero all timing fields in the report CSV so it is
-///                      byte-identical across runs and thread counts
-///     --time-budget S  wall-clock budget in seconds; on expiry the run
-///                      checkpoints and exits (default from NNCS_TIME_BUDGET)
-///     --stop-on-violation  exit the moment any cell is error-reachable
-///                      (falsification workflow; remaining cells checkpoint)
-///     --checkpoint FILE  where to write the resume checkpoint when the run
-///                      is interrupted (default from NNCS_CHECKPOINT)
-///     --resume FILE    continue from a checkpoint written by an earlier run
-///                      invoked with the same partition/analysis flags
-///     --progress       print a progress line (done/proved/queue) every ~2 s
-///     --trace-out FILE write a chrome://tracing / Perfetto trace-event JSON
-///                      (default from NNCS_TRACE_OUT)
-///     --metrics-out FILE write the machine-readable run report JSON
-///                      (metrics + provenance; default from NNCS_METRICS_OUT)
-///     --quiet          suppress the per-bin summary
-///
-/// SIGINT (Ctrl-C) checkpoints exactly like an expired budget: in-flight
-/// cells finish, the frontier is saved to --checkpoint, and a second
-/// Ctrl-C kills the process.
-///
-/// Exit codes: 0 run complete (or stopped by --stop-on-violation, which is
-/// the requested outcome); 3 interrupted by budget/SIGINT (checkpoint
-/// written if --checkpoint was given); 1 output write failure; 2 usage.
-///
-/// Telemetry is enabled automatically when either output is requested, or
-/// explicitly with NNCS_TRACE=1.
+/// Exit codes: 0 run complete (or stopped by --stop-on-violation); 3
+/// interrupted by budget/SIGINT (checkpoint written if --checkpoint was
+/// given); 4 --resume refused (checkpoint from a different scenario or
+/// partition); 1 output write failure; 2 usage.
 
-#include <cerrno>
-#include <cmath>
-#include <csignal>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <numbers>
-#include <string>
-
-#include "acasxu/controller.hpp"
-#include "acasxu/dynamics.hpp"
-#include "acasxu/scenario.hpp"
-#include "acasxu/training_pipeline.hpp"
-#include "core/engine.hpp"
-#include "core/report_io.hpp"
-#include "core/run_report.hpp"
-#include "core/verifier.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "util/env.hpp"
-#include "util/stopwatch.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-volatile std::sig_atomic_t g_interrupted = 0;
-
-void handle_sigint(int) {
-  g_interrupted = 1;
-  // A second Ctrl-C gets the default behavior: kill the process.
-  std::signal(SIGINT, SIG_DFL);
-}
-
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
-               "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
-               "          [--nn-cache off|memo|containment]\n"
-               "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
-               "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
-               "          [--stop-on-violation] [--checkpoint FILE] [--resume FILE]\n"
-               "          [--progress] [--trace-out FILE] [--metrics-out FILE] [--quiet]\n",
-               argv0);
-  std::exit(2);
-}
-
-/// strtol with full-token and range validation; atoi's silent "abc" -> 0 is
-/// exactly how a mistyped flag wastes an hours-long run.
-long parse_int(const char* argv0, const char* flag, const char* text, long min_value,
-               long max_value) {
-  errno = 0;
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') {
-    std::fprintf(stderr, "%s: %s expects an integer, got '%s'\n", argv0, flag, text);
-    std::exit(2);
-  }
-  if (value < min_value || value > max_value) {
-    std::fprintf(stderr, "%s: %s must be in [%ld, %ld], got %ld\n", argv0, flag, min_value,
-                 max_value, value);
-    std::exit(2);
-  }
-  return value;
-}
-
-double parse_seconds(const char* argv0, const char* flag, const char* text) {
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(value) || value <= 0.0) {
-    std::fprintf(stderr, "%s: %s expects a positive number of seconds, got '%s'\n", argv0,
-                 flag, text);
-    std::exit(2);
-  }
-  return value;
-}
-
-const char* stop_reason_name(nncs::EngineStopReason reason) {
-  switch (reason) {
-    case nncs::EngineStopReason::kComplete:
-      return "complete";
-    case nncs::EngineStopReason::kStopped:
-      return "interrupted";
-    case nncs::EngineStopReason::kViolation:
-      return "stopped-on-violation";
-  }
-  return "?";
-}
-
-}  // namespace
+#include "verify_driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nncs;
-  namespace ax = nncs::acasxu;
-
-  ax::ScenarioConfig scenario;
-  scenario.num_arcs = 32;
-  scenario.num_headings = 8;
-  EngineConfig engine_config;
-  VerifyConfig& config = engine_config.verify;
-  config.reach.control_steps = 20;
-  config.reach.integration_steps = 10;
-  config.reach.gamma = 5;
-  config.max_refinement_depth = 1;
-  config.split_dims = ax::split_dimensions();
-  config.threads = env_threads();
-  engine_config.time_budget_seconds = env_seconds("NNCS_TIME_BUDGET");
-  int taylor_order = 4;
-  NnDomain domain = NnDomain::kSymbolic;
-  config.reach.nn_cache = nn_cache_config_from_env();
-  std::string nets_dir = "acasxu_nets_cache";
-  std::string report_path;
-  std::string checkpoint_path = env_path("NNCS_CHECKPOINT");
-  std::string resume_path;
-  std::string trace_path = env_path("NNCS_TRACE_OUT");
-  std::string metrics_path = env_path("NNCS_METRICS_OUT");
-  bool canonical_report = false;
-  bool show_progress = false;
-  bool quiet = false;
-
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      usage(argv[0]);
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (!std::strcmp(arg, "--arcs")) {
-      scenario.num_arcs =
-          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
-    } else if (!std::strcmp(arg, "--headings")) {
-      scenario.num_headings =
-          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
-    } else if (!std::strcmp(arg, "--depth")) {
-      config.max_refinement_depth =
-          static_cast<int>(parse_int(argv[0], arg, need_value(i), 0, 32));
-    } else if (!std::strcmp(arg, "--gamma")) {
-      config.reach.gamma =
-          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
-    } else if (!std::strcmp(arg, "--steps")) {
-      config.reach.control_steps =
-          static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
-    } else if (!std::strcmp(arg, "--m")) {
-      config.reach.integration_steps =
-          static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
-    } else if (!std::strcmp(arg, "--order")) {
-      taylor_order = static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 64));
-    } else if (!std::strcmp(arg, "--domain")) {
-      const std::string v = need_value(i);
-      if (v == "interval") {
-        domain = NnDomain::kInterval;
-      } else if (v == "symbolic") {
-        domain = NnDomain::kSymbolic;
-      } else if (v == "affine") {
-        domain = NnDomain::kAffine;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (!std::strcmp(arg, "--nn-cache")) {
-      const auto mode = parse_nn_cache_mode(need_value(i));
-      if (!mode) {
-        usage(argv[0]);
-      }
-      config.reach.nn_cache.mode = *mode;
-    } else if (!std::strcmp(arg, "--strategy")) {
-      const std::string v = need_value(i);
-      if (v == "all") {
-        config.split_strategy = SplitStrategy::kAllDims;
-      } else if (v == "widest") {
-        config.split_strategy = SplitStrategy::kWidestDim;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (!std::strcmp(arg, "--threads")) {
-      config.threads =
-          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 14));
-    } else if (!std::strcmp(arg, "--time-budget")) {
-      engine_config.time_budget_seconds = parse_seconds(argv[0], arg, need_value(i));
-    } else if (!std::strcmp(arg, "--stop-on-violation")) {
-      engine_config.stop_on_violation = true;
-    } else if (!std::strcmp(arg, "--nets")) {
-      nets_dir = need_value(i);
-    } else if (!std::strcmp(arg, "--report")) {
-      report_path = need_value(i);
-    } else if (!std::strcmp(arg, "--canonical-report")) {
-      canonical_report = true;
-    } else if (!std::strcmp(arg, "--checkpoint")) {
-      checkpoint_path = need_value(i);
-    } else if (!std::strcmp(arg, "--resume")) {
-      resume_path = need_value(i);
-    } else if (!std::strcmp(arg, "--progress")) {
-      show_progress = true;
-    } else if (!std::strcmp(arg, "--trace-out")) {
-      trace_path = need_value(i);
-    } else if (!std::strcmp(arg, "--metrics-out")) {
-      metrics_path = need_value(i);
-    } else if (!std::strcmp(arg, "--quiet")) {
-      quiet = true;
-    } else {
-      usage(argv[0]);
-    }
-  }
-
-  // Load the resume checkpoint before probing output paths: --resume and
-  // --checkpoint may name the same file, and the probe truncates.
-  EngineCheckpoint resume_checkpoint;
-  if (!resume_path.empty()) {
-    try {
-      resume_checkpoint = load_checkpoint(std::filesystem::path{resume_path});
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: cannot resume: %s\n", argv[0], e.what());
-      return 1;
-    }
-  }
-
-  // Fail fast on unwritable output paths — verification can run for hours
-  // and the results would be lost at the final write otherwise.
-  for (const std::string* out : {&report_path, &checkpoint_path, &trace_path, &metrics_path}) {
-    if (!out->empty() && !std::ofstream(*out)) {
-      std::fprintf(stderr, "%s: cannot open for writing: %s\n", argv[0], out->c_str());
-      return 1;
-    }
-  }
-  if (!trace_path.empty() || !metrics_path.empty() || env_flag("NNCS_TRACE")) {
-    obs::set_enabled(true);
-  }
-  if (!trace_path.empty()) {
-    obs::TraceRecorder::instance().start();
-  }
-
-  std::printf("nncs_acasxu_cli: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d\n",
-              scenario.num_arcs, scenario.num_headings, config.max_refinement_depth,
-              config.reach.gamma, config.reach.control_steps, config.reach.integration_steps,
-              taylor_order);
-  if (!resume_path.empty()) {
-    std::printf("resuming from %s: %zu leaves done, %zu cells pending\n", resume_path.c_str(),
-                resume_checkpoint.leaves.size(), resume_checkpoint.frontier.size());
-  }
-
-  const ax::TrainingConfig training;
-  const auto networks = ax::ensure_networks(nets_dir, training);
-  const auto plant = ax::make_dynamics();
-  const auto controller = ax::make_controller(networks, domain);
-  controller->configure_cache(config.reach.nn_cache);
-  const ClosedLoop system{plant.get(), controller.get(), 1.0};
-
-  const auto cells = ax::make_initial_cells(scenario);
-  const auto error = ax::make_error_region(scenario);
-  const auto target = ax::make_target_region(scenario);
-  const TaylorIntegrator integrator(TaylorIntegrator::Config{taylor_order, {}});
-  config.reach.integrator = &integrator;
-
-  if (show_progress) {
-    engine_config.on_progress = [watch = Stopwatch{},
-                                 last = -2.0](const EngineProgress& p) mutable {
-      const double now = watch.seconds();
-      if (now - last < 2.0) {
-        return;
-      }
-      last = now;
-      std::fprintf(stderr,
-                   "[progress] done %zu (proved %zu, failed %zu)  queue %zu  in-flight %zu\n",
-                   p.cells_done, p.cells_proved, p.cells_failed, p.queue_depth, p.in_flight);
-    };
-  }
-
-  RunControl control;
-  control.bind_signal_flag(&g_interrupted);
-  std::signal(SIGINT, handle_sigint);
-
-  const VerificationEngine engine(system, error, target);
-  EngineResult result;
-  try {
-    if (!resume_path.empty()) {
-      result = engine.resume(ax::to_symbolic_set(cells), resume_checkpoint, engine_config,
-                             &control);
-    } else {
-      result = engine.run(ax::to_symbolic_set(cells), engine_config, &control);
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-    return 1;
-  }
-  std::signal(SIGINT, SIG_DFL);
-  obs::TraceRecorder::instance().stop();
-
-  VerifyReport& report = result.report;
-  std::printf("coverage %.2f %%  (%zu proved / %zu leaves, %.1f s) [%s]\n",
-              report.coverage_percent, report.proved_leaves, report.leaves.size(),
-              report.seconds, stop_reason_name(result.stop_reason));
-  if (result.violation.has_value()) {
-    std::printf("violation: root cell %zu depth %d is error-reachable\n",
-                result.violation->root_index, result.violation->depth);
-  }
-  const ReachStats aggregate = aggregate_stats(report);
-  if (aggregate.phases.total() > 0.0) {
-    std::printf("phases: simulate %.2f s, controller %.2f s, join %.2f s, check %.2f s\n",
-                aggregate.phases.simulate_seconds, aggregate.phases.controller_seconds,
-                aggregate.phases.join_seconds, aggregate.phases.check_seconds);
-  }
-  if (const NnQueryCache* cache = controller->query_cache()) {
-    const NnQueryCache::Stats cs = cache->stats();
-    std::printf("nn-cache (%s): %llu hits / %llu lookups (%.1f%%, %llu containment, "
-                "%llu fallbacks, %llu evictions, %zu entries)\n",
-                to_string(cache->mode()), static_cast<unsigned long long>(cs.hits),
-                static_cast<unsigned long long>(cs.lookups()), 100.0 * cs.hit_rate(),
-                static_cast<unsigned long long>(cs.containment_hits),
-                static_cast<unsigned long long>(cs.reuse_fallbacks),
-                static_cast<unsigned long long>(cs.evictions), cs.entries);
-  }
-
-  if (!quiet) {
-    // Per-bearing summary like Fig 9b.
-    constexpr int kBins = 8;
-    constexpr double kPi = std::numbers::pi;
-    std::map<int, std::pair<int, int>> bins;  // bin -> (proved, total)
-    for (const auto& leaf : report.leaves) {
-      const double mid = 0.5 * (cells[leaf.root_index].bearing_lo +
-                                cells[leaf.root_index].bearing_hi);
-      int bin = static_cast<int>((mid + kPi) / (2.0 * kPi) * kBins);
-      bin = std::min(std::max(bin, 0), kBins - 1);
-      auto& [proved, total] = bins[bin];
-      proved += leaf.outcome == ReachOutcome::kProvedSafe ? 1 : 0;
-      ++total;
-    }
-    Table table("per_bearing", {"bin", "bearing_mid_rad", "proved_leaves", "total_leaves"});
-    for (const auto& [bin, counts] : bins) {
-      const double mid = -kPi + (bin + 0.5) * 2.0 * kPi / kBins;
-      table.add_row({std::to_string(bin), Table::num(mid, 3),
-                     std::to_string(counts.first), std::to_string(counts.second)});
-    }
-    table.print(std::cout);
-  }
-
-  // One failed write must not abort the others (results are irreplaceable).
-  int status = 0;
-  const auto guarded = [&status, argv](const auto& write) {
-    try {
-      write();
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-      status = 1;
-    }
-  };
-  if (result.stop_reason == EngineStopReason::kStopped && checkpoint_path.empty()) {
-    std::fprintf(stderr,
-                 "%s: interrupted with no --checkpoint path; %zu pending cells lost\n",
-                 argv[0], result.checkpoint.frontier.size());
-  }
-  if (!result.complete() && !checkpoint_path.empty()) {
-    guarded([&] {
-      save_checkpoint(result.checkpoint, std::filesystem::path{checkpoint_path});
-      std::printf("checkpoint written to %s (%zu pending cells); resume with --resume %s\n",
-                  checkpoint_path.c_str(), result.checkpoint.frontier.size(),
-                  checkpoint_path.c_str());
-    });
-  }
-  if (!report_path.empty()) {
-    guarded([&] {
-      if (canonical_report) {
-        strip_timing(report);
-      }
-      save_report(report, std::filesystem::path{report_path});
-      std::printf("report written to %s%s\n", report_path.c_str(),
-                  result.complete() ? "" : " (partial)");
-    });
-  }
-  if (!trace_path.empty()) {
-    guarded([&] {
-      obs::TraceRecorder::instance().write_json(std::filesystem::path{trace_path});
-      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
-                  obs::TraceRecorder::instance().event_count());
-    });
-  }
-  if (!metrics_path.empty()) {
-    guarded([&] {
-      write_run_report(std::filesystem::path{metrics_path}, "nncs_acasxu_cli", report, config);
-      std::printf("run report written to %s\n", metrics_path.c_str());
-    });
-  }
-  if (status == 0 && result.stop_reason == EngineStopReason::kStopped) {
-    return 3;
-  }
-  return status;
+  nncs::tools::DriverOptions options;
+  options.program = "nncs_acasxu_cli";
+  options.forced_scenario = "acasxu";
+  return nncs::tools::verify_driver_main(argc, argv, options);
 }

@@ -25,8 +25,9 @@ case "$mode" in
   tsan)
     build=build-tsan
     sanitize="thread"
-    # Concurrency-relevant suites; pass your own -R/-E to override.
-    default_filter=(-R "QueryCache|Engine|Obs")
+    # Concurrency-relevant suites (the scenario smoke runs drive the
+    # threaded verifier); pass your own -R/-E to override.
+    default_filter=(-R "QueryCache|Engine|Obs|Scenario")
     ;;
   *)
     echo "usage: $0 [asan|tsan] [extra ctest args...]" >&2

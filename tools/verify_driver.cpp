@@ -1,0 +1,486 @@
+#include "verify_driver.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/report_io.hpp"
+#include "core/run_report.hpp"
+#include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace nncs::tools {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_sigint(int) {
+  g_interrupted = 1;
+  // A second Ctrl-C gets the default behavior: kill the process.
+  std::signal(SIGINT, SIG_DFL);
+}
+
+[[noreturn]] void usage(const char* argv0, const DriverOptions& options) {
+  std::fprintf(stderr,
+               "usage: %s%s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
+               "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
+               "          [--nn-cache off|memo|containment]\n"
+               "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
+               "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
+               "          [--stop-on-violation] [--checkpoint FILE] [--resume FILE]\n"
+               "          [--progress] [--trace-out FILE] [--metrics-out FILE] [--quiet]\n",
+               argv0,
+               options.forced_scenario ? "" : " [--scenario NAME] [--list-scenarios]");
+  std::exit(2);
+}
+
+/// strtol with full-token and range validation; atoi's silent "abc" -> 0 is
+/// exactly how a mistyped flag wastes an hours-long run.
+long parse_int(const char* argv0, const char* flag, const char* text, long min_value,
+               long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects an integer, got '%s'\n", argv0, flag, text);
+    std::exit(2);
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "%s: %s must be in [%ld, %ld], got %ld\n", argv0, flag, min_value,
+                 max_value, value);
+    std::exit(2);
+  }
+  return value;
+}
+
+double parse_seconds(const char* argv0, const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(value) || value <= 0.0) {
+    std::fprintf(stderr, "%s: %s expects a positive number of seconds, got '%s'\n", argv0,
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+const char* stop_reason_name(EngineStopReason reason) {
+  switch (reason) {
+    case EngineStopReason::kComplete:
+      return "complete";
+    case EngineStopReason::kStopped:
+      return "interrupted";
+    case EngineStopReason::kViolation:
+      return "stopped-on-violation";
+  }
+  return "?";
+}
+
+[[noreturn]] void list_scenarios(const scenario::Registry& registry) {
+  for (const scenario::Scenario* s : registry.all()) {
+    const scenario::Partition p = s->default_partition();
+    const auto axes = s->axis_names();
+    std::printf("%-16s v%-3s %zu %s x %zu %s  %s\n", s->name().c_str(),
+                s->version().c_str(), p.axis0, axes.first.c_str(), p.axis1,
+                axes.second.c_str(), s->description().c_str());
+  }
+  std::exit(0);
+}
+
+}  // namespace
+
+int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
+  const scenario::Registry& registry = scenario::Registry::global();
+
+  // Pass 1: resolve the scenario (its defaults seed every other flag).
+  std::string scenario_name =
+      options.forced_scenario ? options.forced_scenario : "";
+  if (!options.forced_scenario) {
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--list-scenarios")) {
+        list_scenarios(registry);
+      } else if (!std::strcmp(argv[i], "--scenario")) {
+        if (i + 1 >= argc) {
+          usage(argv[0], options);
+        }
+        scenario_name = argv[i + 1];
+      }
+    }
+    if (scenario_name.empty()) {
+      std::fprintf(stderr, "%s: --scenario is required (registered: %s)\n", argv[0],
+                   registry.names().c_str());
+      return 2;
+    }
+  }
+  const scenario::Scenario* scen = registry.find(scenario_name);
+  if (!scen) {
+    std::fprintf(stderr, "%s: unknown scenario '%s' (registered: %s)\n", argv[0],
+                 scenario_name.c_str(), registry.names().c_str());
+    return 2;
+  }
+
+  scenario::Partition partition = scen->default_partition();
+  EngineConfig engine_config;
+  VerifyConfig& config = engine_config.verify;
+  config = scen->default_config();
+  config.threads = env_threads();
+  engine_config.time_budget_seconds = env_seconds("NNCS_TIME_BUDGET");
+  int taylor_order = scen->default_taylor_order();
+  scenario::SystemConfig system_config;
+  system_config.nn_cache = nn_cache_config_from_env();
+  std::string report_path;
+  std::string checkpoint_path = env_path("NNCS_CHECKPOINT");
+  std::string resume_path;
+  std::string trace_path = env_path("NNCS_TRACE_OUT");
+  std::string metrics_path = env_path("NNCS_METRICS_OUT");
+  bool canonical_report = false;
+  bool show_progress = false;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage(argv[0], options);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!options.forced_scenario && !std::strcmp(arg, "--scenario")) {
+      need_value(i);  // consumed in pass 1
+    } else if (!std::strcmp(arg, "--arcs")) {
+      partition.axis0 =
+          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
+    } else if (!std::strcmp(arg, "--headings")) {
+      partition.axis1 =
+          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
+    } else if (!std::strcmp(arg, "--depth")) {
+      config.max_refinement_depth =
+          static_cast<int>(parse_int(argv[0], arg, need_value(i), 0, 32));
+    } else if (!std::strcmp(arg, "--gamma")) {
+      config.reach.gamma =
+          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
+    } else if (!std::strcmp(arg, "--steps")) {
+      config.reach.control_steps =
+          static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
+    } else if (!std::strcmp(arg, "--m")) {
+      config.reach.integration_steps =
+          static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 1 << 20));
+    } else if (!std::strcmp(arg, "--order")) {
+      taylor_order = static_cast<int>(parse_int(argv[0], arg, need_value(i), 1, 64));
+    } else if (!std::strcmp(arg, "--domain")) {
+      const std::string v = need_value(i);
+      if (v == "interval") {
+        system_config.domain = NnDomain::kInterval;
+      } else if (v == "symbolic") {
+        system_config.domain = NnDomain::kSymbolic;
+      } else if (v == "affine") {
+        system_config.domain = NnDomain::kAffine;
+      } else {
+        usage(argv[0], options);
+      }
+    } else if (!std::strcmp(arg, "--nn-cache")) {
+      const auto mode = parse_nn_cache_mode(need_value(i));
+      if (!mode) {
+        usage(argv[0], options);
+      }
+      system_config.nn_cache.mode = *mode;
+    } else if (!std::strcmp(arg, "--strategy")) {
+      const std::string v = need_value(i);
+      if (v == "all") {
+        config.split_strategy = SplitStrategy::kAllDims;
+      } else if (v == "widest") {
+        config.split_strategy = SplitStrategy::kWidestDim;
+      } else {
+        usage(argv[0], options);
+      }
+    } else if (!std::strcmp(arg, "--threads")) {
+      config.threads =
+          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 1 << 14));
+    } else if (!std::strcmp(arg, "--time-budget")) {
+      engine_config.time_budget_seconds = parse_seconds(argv[0], arg, need_value(i));
+    } else if (!std::strcmp(arg, "--stop-on-violation")) {
+      engine_config.stop_on_violation = true;
+    } else if (!std::strcmp(arg, "--nets")) {
+      system_config.nets_dir = need_value(i);
+    } else if (!std::strcmp(arg, "--report")) {
+      report_path = need_value(i);
+    } else if (!std::strcmp(arg, "--canonical-report")) {
+      canonical_report = true;
+    } else if (!std::strcmp(arg, "--checkpoint")) {
+      checkpoint_path = need_value(i);
+    } else if (!std::strcmp(arg, "--resume")) {
+      resume_path = need_value(i);
+    } else if (!std::strcmp(arg, "--progress")) {
+      show_progress = true;
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      trace_path = need_value(i);
+    } else if (!std::strcmp(arg, "--metrics-out")) {
+      metrics_path = need_value(i);
+    } else if (!std::strcmp(arg, "--quiet")) {
+      quiet = true;
+    } else {
+      usage(argv[0], options);
+    }
+  }
+
+  partition = scenario::resolve(*scen, partition);
+  const std::string run_fingerprint = scenario::fingerprint(*scen, partition);
+  obs::set_scenario(scen->name());
+
+  // Cell layout is needed up front: resume consistency is checked before
+  // the (possibly training) controller assembly.
+  const std::vector<scenario::Cell> cells = scen->make_cells(partition);
+
+  // Load the resume checkpoint before probing output paths: --resume and
+  // --checkpoint may name the same file, and the probe truncates.
+  EngineCheckpoint resume_checkpoint;
+  if (!resume_path.empty()) {
+    try {
+      resume_checkpoint = load_checkpoint(std::filesystem::path{resume_path});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cannot resume: %s\n", argv[0], e.what());
+      return 1;
+    }
+    // A frontier from another workload would silently verify the wrong
+    // cells; refuse anything whose identity stamp disagrees.
+    if (resume_checkpoint.scenario.empty() && resume_checkpoint.fingerprint.empty()) {
+      std::fprintf(stderr,
+                   "%s: warning: %s is an unstamped v1 checkpoint; cannot verify it "
+                   "belongs to scenario '%s'\n",
+                   argv[0], resume_path.c_str(), scen->name().c_str());
+    } else if (resume_checkpoint.scenario != scen->name()) {
+      std::fprintf(stderr,
+                   "%s: cannot resume: checkpoint %s belongs to scenario '%s', this run "
+                   "verifies '%s'\n",
+                   argv[0], resume_path.c_str(), resume_checkpoint.scenario.c_str(),
+                   scen->name().c_str());
+      return 4;
+    } else if (resume_checkpoint.fingerprint != run_fingerprint) {
+      std::fprintf(stderr,
+                   "%s: cannot resume: checkpoint %s was written under a different "
+                   "partition/parameters\n  checkpoint: %s\n  this run:   %s\n",
+                   argv[0], resume_path.c_str(), resume_checkpoint.fingerprint.c_str(),
+                   run_fingerprint.c_str());
+      return 4;
+    }
+    if (resume_checkpoint.root_cells != cells.size()) {
+      std::fprintf(stderr,
+                   "%s: cannot resume: checkpoint %s has %zu root cells, this partition "
+                   "has %zu\n",
+                   argv[0], resume_path.c_str(), resume_checkpoint.root_cells, cells.size());
+      return 4;
+    }
+  }
+
+  // Fail fast on unwritable output paths — verification can run for hours
+  // and the results would be lost at the final write otherwise.
+  for (const std::string* out : {&report_path, &checkpoint_path, &trace_path, &metrics_path}) {
+    if (!out->empty() && !std::ofstream(*out)) {
+      std::fprintf(stderr, "%s: cannot open for writing: %s\n", argv[0], out->c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty() || env_flag("NNCS_TRACE")) {
+    obs::set_enabled(true);
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().start();
+  }
+
+  if (!options.forced_scenario) {
+    std::printf("scenario %s: %s\n", scen->name().c_str(), scen->description().c_str());
+  }
+  std::printf("%s: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d\n",
+              options.program, partition.axis0, partition.axis1,
+              config.max_refinement_depth, config.reach.gamma, config.reach.control_steps,
+              config.reach.integration_steps, taylor_order);
+  if (!resume_path.empty()) {
+    std::printf("resuming from %s: %zu leaves done, %zu cells pending\n", resume_path.c_str(),
+                resume_checkpoint.leaves.size(), resume_checkpoint.frontier.size());
+  }
+
+  scenario::System system;
+  std::unique_ptr<StateRegion> error;
+  std::unique_ptr<StateRegion> target;
+  try {
+    system = scen->make_system(system_config);
+    error = scen->make_error_region();
+    target = scen->make_target_region();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: cannot assemble scenario '%s': %s\n", argv[0],
+                 scen->name().c_str(), e.what());
+    return 1;
+  }
+  config.reach.nn_cache = system_config.nn_cache;
+
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{taylor_order, {}});
+  config.reach.integrator = &integrator;
+
+  if (show_progress) {
+    engine_config.on_progress = [watch = Stopwatch{},
+                                 last = -2.0](const EngineProgress& p) mutable {
+      const double now = watch.seconds();
+      if (now - last < 2.0) {
+        return;
+      }
+      last = now;
+      std::fprintf(stderr,
+                   "[progress] done %zu (proved %zu, failed %zu)  queue %zu  in-flight %zu\n",
+                   p.cells_done, p.cells_proved, p.cells_failed, p.queue_depth, p.in_flight);
+    };
+  }
+
+  RunControl control;
+  control.bind_signal_flag(&g_interrupted);
+  std::signal(SIGINT, handle_sigint);
+
+  const VerificationEngine engine(system.loop, *error, *target);
+  EngineResult result;
+  try {
+    if (!resume_path.empty()) {
+      result = engine.resume(scenario::to_symbolic_set(cells), resume_checkpoint,
+                             engine_config, &control);
+    } else {
+      result = engine.run(scenario::to_symbolic_set(cells), engine_config, &control);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  std::signal(SIGINT, SIG_DFL);
+  obs::TraceRecorder::instance().stop();
+
+  VerifyReport& report = result.report;
+  std::printf("coverage %.2f %%  (%zu proved / %zu leaves, %.1f s) [%s]\n",
+              report.coverage_percent, report.proved_leaves, report.leaves.size(),
+              report.seconds, stop_reason_name(result.stop_reason));
+  if (result.violation.has_value()) {
+    std::printf("violation: root cell %zu depth %d is error-reachable\n",
+                result.violation->root_index, result.violation->depth);
+  }
+  const ReachStats aggregate = aggregate_stats(report);
+  if (aggregate.phases.total() > 0.0) {
+    std::printf("phases: simulate %.2f s, controller %.2f s, join %.2f s, check %.2f s\n",
+                aggregate.phases.simulate_seconds, aggregate.phases.controller_seconds,
+                aggregate.phases.join_seconds, aggregate.phases.check_seconds);
+  }
+  if (const NnQueryCache* cache = system.controller->query_cache()) {
+    const NnQueryCache::Stats cs = cache->stats();
+    std::printf("nn-cache (%s): %llu hits / %llu lookups (%.1f%%, %llu containment, "
+                "%llu fallbacks, %llu evictions, %zu entries)\n",
+                to_string(cache->mode()), static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.lookups()), 100.0 * cs.hit_rate(),
+                static_cast<unsigned long long>(cs.containment_hits),
+                static_cast<unsigned long long>(cs.reuse_fallbacks),
+                static_cast<unsigned long long>(cs.evictions), cs.entries);
+  }
+
+  if (!quiet) {
+    // Per-bin summary over the scenario's bin axis (ACAS Xu: the Fig 9b
+    // per-bearing breakdown; grid scenarios: their leading state variable).
+    constexpr int kBins = 8;
+    double axis_lo = cells.empty() ? 0.0 : cells.front().bin_lo;
+    double axis_hi = cells.empty() ? 0.0 : cells.front().bin_hi;
+    for (const scenario::Cell& cell : cells) {
+      axis_lo = std::min(axis_lo, cell.bin_lo);
+      axis_hi = std::max(axis_hi, cell.bin_hi);
+    }
+    if (axis_hi > axis_lo) {
+      const double width = axis_hi - axis_lo;
+      std::map<int, std::pair<int, int>> bins;  // bin -> (proved, total)
+      for (const auto& leaf : report.leaves) {
+        const double mid =
+            0.5 * (cells[leaf.root_index].bin_lo + cells[leaf.root_index].bin_hi);
+        int bin = static_cast<int>((mid - axis_lo) / width * kBins);
+        bin = std::min(std::max(bin, 0), kBins - 1);
+        auto& [proved, total] = bins[bin];
+        proved += leaf.outcome == ReachOutcome::kProvedSafe ? 1 : 0;
+        ++total;
+      }
+      const auto [bin_name, bin_column] = scen->bin_axis();
+      Table table("per_" + bin_name, {"bin", bin_column, "proved_leaves", "total_leaves"});
+      for (const auto& [bin, counts] : bins) {
+        const double mid = axis_lo + (bin + 0.5) * width / kBins;
+        table.add_row({std::to_string(bin), Table::num(mid, 3),
+                       std::to_string(counts.first), std::to_string(counts.second)});
+      }
+      table.print(std::cout);
+    }
+  }
+
+  // One failed write must not abort the others (results are irreplaceable).
+  int status = 0;
+  const auto guarded = [&status, argv](const auto& write) {
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      status = 1;
+    }
+  };
+  if (result.stop_reason == EngineStopReason::kStopped && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "%s: interrupted with no --checkpoint path; %zu pending cells lost\n",
+                 argv[0], result.checkpoint.frontier.size());
+  }
+  if (!result.complete() && !checkpoint_path.empty()) {
+    guarded([&] {
+      result.checkpoint.scenario = scen->name();
+      result.checkpoint.fingerprint = run_fingerprint;
+      save_checkpoint(result.checkpoint, std::filesystem::path{checkpoint_path});
+      std::printf("checkpoint written to %s (%zu pending cells); resume with --resume %s\n",
+                  checkpoint_path.c_str(), result.checkpoint.frontier.size(),
+                  checkpoint_path.c_str());
+    });
+  }
+  if (!report_path.empty()) {
+    guarded([&] {
+      if (canonical_report) {
+        strip_timing(report);
+      }
+      save_report(report, std::filesystem::path{report_path});
+      std::printf("report written to %s%s\n", report_path.c_str(),
+                  result.complete() ? "" : " (partial)");
+    });
+  }
+  if (!trace_path.empty()) {
+    guarded([&] {
+      obs::TraceRecorder::instance().write_json(std::filesystem::path{trace_path});
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  obs::TraceRecorder::instance().event_count());
+    });
+  }
+  if (!metrics_path.empty()) {
+    guarded([&] {
+      RunScenarioMeta meta;
+      meta.name = scen->name();
+      meta.fingerprint = run_fingerprint;
+      meta.parameters = scen->parameters();
+      write_run_report(std::filesystem::path{metrics_path}, options.program, report, config,
+                       &meta);
+      std::printf("run report written to %s\n", metrics_path.c_str());
+    });
+  }
+  if (status == 0 && result.stop_reason == EngineStopReason::kStopped) {
+    return 3;
+  }
+  return status;
+}
+
+}  // namespace nncs::tools
