@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/engine.hpp"
 #include "core/monitor.hpp"
-#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "scenario/scenario.hpp"
@@ -126,6 +127,12 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   result.num_arcs = num_arcs;
   result.num_headings = num_headings;
   result.max_depth = max_depth;
+  // Stamp scenario identity into provenance even on the cache-hit path, so
+  // every BENCH_*.json carries the workload fingerprint it reports on.
+  const scenario::Scenario& scen = acas_scenario();
+  const scenario::Partition partition =
+      scenario::resolve(scen, scenario::Partition{num_arcs, num_headings});
+  obs::set_scenario(scen.name(), scenario::fingerprint(scen, partition));
   const auto path = cache_path(num_arcs, num_headings, max_depth);
   if (load_cache(path, result)) {
     std::printf("[acas-bench] loaded cached verification from %s\n", path.string().c_str());
@@ -134,10 +141,8 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
 
   std::printf("[acas-bench] running verification (%zu arcs x %zu headings, depth %d)...\n",
               num_arcs, num_headings, max_depth);
-  const scenario::Scenario& scen = acas_scenario();
-  obs::set_scenario(scen.name());
   AcasSystem system = make_acas_system();
-  const auto cells = scen.make_cells(scenario::Partition{num_arcs, num_headings});
+  const auto cells = scen.make_cells(partition);
   const auto error = scen.make_error_region();
   const auto target = scen.make_target_region();
 
@@ -182,53 +187,73 @@ AcasRunResult run_or_load_verification(std::size_t num_arcs, std::size_t num_hea
   return result;
 }
 
-void write_bench_report(const std::string& bench_name, const AcasRunResult& run) {
-  const std::filesystem::path path = "BENCH_" + bench_name + ".json";
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "[acas-bench] cannot write %s\n", path.string().c_str());
+std::filesystem::path artifact_dir_from_args(int argc, char** argv) {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("NNCS_ARTIFACT_DIR"); env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--artifact-dir")) {
+      dir = argv[i + 1];
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[acas-bench] cannot create artifact dir %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+  }
+  return dir;
+}
+
+obs::BenchArtifact make_bench_artifact(const std::string& bench_name, const AcasRunResult& run) {
+  obs::BenchArtifact artifact;
+  artifact.bench = bench_name;
+  artifact.provenance = obs::collect_provenance();
+  artifact.scale["num_arcs"] = static_cast<double>(run.num_arcs);
+  artifact.scale["num_headings"] = static_cast<double>(run.num_headings);
+  artifact.scale["max_depth"] = static_cast<double>(run.max_depth);
+
+  // Canonical side: the refinement tree and its aggregate work counts are
+  // deterministic for a fixed workload (key names match the v1 mapping in
+  // parse_artifact, so old committed artifacts stay comparable).
+  artifact.canonical_results["root_cells"] = static_cast<double>(run.root_cells);
+  artifact.canonical_results["coverage_percent"] = run.coverage_percent;
+  artifact.canonical_results["leaves"] = static_cast<double>(run.leaves.size());
+  for (std::size_t depth = 0; depth < run.proved_by_depth.size(); ++depth) {
+    artifact.canonical_results["proved_by_depth." + std::to_string(depth)] =
+        static_cast<double>(run.proved_by_depth[depth]);
+  }
+  const ReachStats& agg = run.aggregate;
+  artifact.canonical_results["aggregate.steps_executed"] =
+      static_cast<double>(agg.steps_executed);
+  artifact.canonical_results["aggregate.joins"] = static_cast<double>(agg.joins);
+  artifact.canonical_results["aggregate.max_states"] = static_cast<double>(agg.max_states);
+  artifact.canonical_results["aggregate.total_simulations"] =
+      static_cast<double>(agg.total_simulations);
+
+  // Wall side: compared under the regression tolerance, never exactly.
+  artifact.wall_seconds = run.wall_seconds;
+  artifact.wall_results["aggregate.cell_seconds"] = agg.seconds;
+  artifact.wall_results["phase.simulate_s"] = agg.phases.simulate_seconds;
+  artifact.wall_results["phase.controller_s"] = agg.phases.controller_seconds;
+  artifact.wall_results["phase.join_s"] = agg.phases.join_seconds;
+  artifact.wall_results["phase.check_s"] = agg.phases.check_seconds;
+  artifact.wall_results["phase.total_s"] = agg.phases.total();
+
+  obs::fill_artifact_metrics(artifact, obs::Registry::instance().snapshot());
+  return artifact;
+}
+
+void write_bench_report(const std::string& bench_name, const AcasRunResult& run,
+                        const std::filesystem::path& artifact_dir) {
+  const std::filesystem::path path = artifact_dir / ("BENCH_" + bench_name + ".json");
+  try {
+    write_artifact(make_bench_artifact(bench_name, run), path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[acas-bench] %s\n", e.what());
     return;
   }
-  obs::JsonWriter w(out);
-  w.begin_object();
-  w.field("schema", "nncs-bench v1");
-  w.field("bench", bench_name);
-  w.key("provenance");
-  obs::write_provenance(w, obs::collect_provenance());
-  w.key("scale")
-      .begin_object()
-      .field("num_arcs", static_cast<std::uint64_t>(run.num_arcs))
-      .field("num_headings", static_cast<std::uint64_t>(run.num_headings))
-      .field("max_depth", static_cast<std::int64_t>(run.max_depth))
-      .end_object();
-  w.key("results")
-      .begin_object()
-      .field("root_cells", static_cast<std::uint64_t>(run.root_cells))
-      .field("coverage_percent", run.coverage_percent)
-      .field("wall_seconds", run.wall_seconds)
-      .field("leaves", static_cast<std::uint64_t>(run.leaves.size()))
-      .end_object();
-  const ReachStats& agg = run.aggregate;
-  w.key("aggregate_stats")
-      .begin_object()
-      .field("steps_executed", static_cast<std::int64_t>(agg.steps_executed))
-      .field("joins", static_cast<std::uint64_t>(agg.joins))
-      .field("max_states", static_cast<std::uint64_t>(agg.max_states))
-      .field("total_simulations", static_cast<std::uint64_t>(agg.total_simulations))
-      .field("cell_seconds", agg.seconds);
-  w.key("phases")
-      .begin_object()
-      .field("simulate_s", agg.phases.simulate_seconds)
-      .field("controller_s", agg.phases.controller_seconds)
-      .field("join_s", agg.phases.join_seconds)
-      .field("check_s", agg.phases.check_seconds)
-      .field("total_s", agg.phases.total())
-      .end_object();
-  w.end_object();
-  w.key("metrics");
-  obs::write_metrics(w, obs::Registry::instance().snapshot());
-  w.end_object();
-  out << '\n';
   std::printf("[acas-bench] perf report written to %s\n", path.string().c_str());
 }
 

@@ -14,6 +14,7 @@
 #include "acasxu/scenario.hpp"
 #include "acasxu/training_pipeline.hpp"
 #include "core/verifier.hpp"
+#include "obs/artifact.hpp"
 
 namespace nncs::bench {
 
@@ -78,11 +79,23 @@ struct BenchScale {
 };
 BenchScale default_scale();
 
-/// Write `BENCH_<bench_name>.json` in the working directory: a
-/// machine-readable perf artifact ("nncs-bench v1") with build/config
-/// provenance, the run's headline numbers, per-phase timings and the current
-/// telemetry-metrics snapshot. Every figure bench calls this so CI can diff
-/// perf across commits without scraping stdout.
-void write_bench_report(const std::string& bench_name, const AcasRunResult& run);
+/// Artifact output directory for a bench main: `--artifact-dir DIR` when
+/// present in argv, else the `NNCS_ARTIFACT_DIR` environment variable, else
+/// the working directory. Created (recursively) when missing so benches can
+/// be pointed at a fresh results directory.
+std::filesystem::path artifact_dir_from_args(int argc, char** argv);
+
+/// Build the versioned "nncs-bench v2" perf artifact for a standard run:
+/// provenance stamp, partition scale, canonical (deterministic) headline
+/// numbers and engine counters, wall-clock scalars, per-phase quantile
+/// histograms and the full telemetry snapshot.
+obs::BenchArtifact make_bench_artifact(const std::string& bench_name, const AcasRunResult& run);
+
+/// Write `BENCH_<bench_name>.json` into `artifact_dir`: the "nncs-bench v2"
+/// perf artifact from `make_bench_artifact`. Every figure bench calls this
+/// so CI can diff perf across commits (tools/nncs_bench_compare) without
+/// scraping stdout.
+void write_bench_report(const std::string& bench_name, const AcasRunResult& run,
+                        const std::filesystem::path& artifact_dir = ".");
 
 }  // namespace nncs::bench

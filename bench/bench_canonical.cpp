@@ -1,0 +1,127 @@
+// Canonical perf workload behind tools/nncs_bench_compare: a fixed-scale,
+// fixed-thread ACAS Xu verification run whose artifact is committed under
+// bench/baselines/. Unlike the figure benches this target deliberately
+// ignores NNCS_SCALE / NNCS_THREADS / NNCS_NN_CACHE — the workload must be
+// byte-identical across machines so the artifact's canonical section can be
+// compared exactly (the wall section is tolerance-compared instead).
+//
+// Flags: --nets DIR (network cache directory, default the scenario's),
+// --artifact-dir DIR (output directory for BENCH_canonical_acasxu.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "acas_bench_common.hpp"
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "scenario/scenario.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+// The canonical scale: small enough for a ctest smoke run (seconds, not
+// minutes), large enough to exercise refinement and every telemetry phase.
+constexpr std::size_t kArcs = 6;
+constexpr std::size_t kHeadings = 4;
+constexpr int kDepth = 1;
+constexpr int kControlSteps = 10;
+constexpr int kIntegrationSteps = 4;
+constexpr std::size_t kGamma = 5;
+constexpr std::size_t kThreads = 2;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nncs;
+
+  // Pin the env-derived knobs before anything reads them, so the provenance
+  // stamp in the artifact reflects the pinned workload, not the machine.
+  setenv("NNCS_SCALE", "1", 1);
+  setenv("NNCS_THREADS", "2", 1);
+
+  const std::filesystem::path artifact_dir = bench::artifact_dir_from_args(argc, argv);
+  std::string nets_dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--nets")) {
+      nets_dir = argv[i + 1];
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+
+  const scenario::Scenario& scen = scenario::Registry::global().at("acasxu");
+  const scenario::Partition partition =
+      scenario::resolve(scen, scenario::Partition{kArcs, kHeadings});
+  obs::set_scenario(scen.name(), scenario::fingerprint(scen, partition));
+
+  scenario::SystemConfig system_config;
+  // Memo replays exact-match queries only, so results (and the canonical
+  // counters) are identical to an uncached run.
+  system_config.nn_cache.mode = NnCacheMode::kMemo;
+  if (!nets_dir.empty()) {
+    system_config.nets_dir = nets_dir;
+  }
+  scenario::System system;
+  std::unique_ptr<StateRegion> error;
+  std::unique_ptr<StateRegion> target;
+  try {
+    system = scen.make_system(system_config);
+    error = scen.make_error_region();
+    target = scen.make_target_region();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench-canonical] cannot assemble scenario: %s\n", e.what());
+    return 1;
+  }
+
+  const auto cells = scen.make_cells(partition);
+  const TaylorIntegrator integrator(TaylorIntegrator::Config{scen.default_taylor_order(), {}});
+  EngineConfig engine_config;
+  engine_config.verify = scen.default_config();
+  engine_config.verify.reach.control_steps = kControlSteps;
+  engine_config.verify.reach.integration_steps = kIntegrationSteps;
+  engine_config.verify.reach.gamma = kGamma;
+  engine_config.verify.reach.integrator = &integrator;
+  engine_config.verify.reach.nn_cache = system_config.nn_cache;
+  engine_config.verify.max_refinement_depth = kDepth;
+  engine_config.verify.threads = kThreads;
+
+  std::printf("[bench-canonical] %zux%zu cells, depth %d, q=%d, M=%d, gamma=%zu, %zu threads\n",
+              kArcs, kHeadings, kDepth, kControlSteps, kIntegrationSteps, kGamma, kThreads);
+
+  Stopwatch watch;
+  const VerificationEngine engine(system.loop, *error, *target);
+  const VerifyReport report =
+      engine.run(scenario::to_symbolic_set(cells), engine_config).report;
+
+  bench::AcasRunResult run;
+  run.num_arcs = kArcs;
+  run.num_headings = kHeadings;
+  run.max_depth = kDepth;
+  run.root_cells = report.root_cells;
+  run.coverage_percent = report.coverage_percent;
+  run.proved_by_depth = report.proved_by_depth;
+  run.wall_seconds = watch.seconds();
+  run.aggregate = aggregate_stats(report);
+  run.leaves.reserve(report.leaves.size());
+  for (const auto& leaf : report.leaves) {
+    bench::CellRecord rec;
+    rec.root_index = leaf.root_index;
+    rec.depth = leaf.depth;
+    rec.bearing_lo = cells[leaf.root_index].bin_lo;
+    rec.bearing_hi = cells[leaf.root_index].bin_hi;
+    rec.proved = leaf.outcome == ReachOutcome::kProvedSafe;
+    rec.outcome = to_string(leaf.outcome);
+    rec.seconds = leaf.stats.seconds;
+    run.leaves.push_back(std::move(rec));
+  }
+
+  std::printf("[bench-canonical] coverage %.2f %%  (%zu leaves, %.2f s)\n",
+              run.coverage_percent, run.leaves.size(), run.wall_seconds);
+  bench::write_bench_report("canonical_acasxu", run, artifact_dir);
+  return 0;
+}

@@ -13,10 +13,11 @@
 #include "acas_bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nncs;
   using namespace nncs::bench;
 
+  const std::filesystem::path artifact_dir = artifact_dir_from_args(argc, argv);
   const BenchScale scale = default_scale();
   const AcasRunResult run =
       run_or_load_verification(scale.num_arcs, scale.num_headings, scale.max_depth);
@@ -69,6 +70,6 @@ int main() {
               run.coverage_percent);
   std::printf("expected shape: green at the bearing extremes (intruder behind / "
               "overtaking) and red concentrated in the crossing geometries.\n");
-  write_bench_report("fig9a_safety_map", run);
+  write_bench_report("fig9a_safety_map", run, artifact_dir);
   return 0;
 }

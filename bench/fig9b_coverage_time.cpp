@@ -14,11 +14,12 @@
 #include "acas_bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nncs;
   using namespace nncs::bench;
   constexpr double kPi = std::numbers::pi;
 
+  const std::filesystem::path artifact_dir = artifact_dir_from_args(argc, argv);
   const BenchScale scale = default_scale();
   const AcasRunResult run =
       run_or_load_verification(scale.num_arcs, scale.num_headings, scale.max_depth);
@@ -71,6 +72,6 @@ int main() {
   std::printf(
       "paper shape: coverage dips (~75%% vs 85-100%%) and time peaks (~50x) in the\n"
       "crossing-geometry bins relative to head-on/overtaking bins.\n");
-  write_bench_report("fig9b_coverage_time", run);
+  write_bench_report("fig9b_coverage_time", run, artifact_dir);
   return 0;
 }

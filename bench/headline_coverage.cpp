@@ -12,10 +12,11 @@
 #include "util/env.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nncs;
   using namespace nncs::bench;
 
+  const std::filesystem::path artifact_dir = artifact_dir_from_args(argc, argv);
   // The headline run goes one refinement level deeper than the map benches.
   const BenchScale scale = default_scale();
   const AcasRunResult run =
@@ -44,6 +45,6 @@ int main() {
       "\nNote: absolute coverage is below the paper's 90.3%% because the bench-scale\n"
       "cells are orders of magnitude coarser (scale up with NNCS_SCALE to approach\n"
       "paper granularity; coverage rises monotonically with partition resolution).\n");
-  write_bench_report("headline_coverage", run);
+  write_bench_report("headline_coverage", run, artifact_dir);
   return 0;
 }

@@ -113,7 +113,8 @@ void write_mode(obs::JsonWriter& w, const ModeResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::filesystem::path artifact_dir = bench::artifact_dir_from_args(argc, argv);
   const double scale = env_scale();
   const std::size_t arcs = std::max<std::size_t>(8, static_cast<std::size_t>(8 * scale));
   const std::size_t headings = std::max<std::size_t>(4, static_cast<std::size_t>(4 * scale));
@@ -138,9 +139,10 @@ int main() {
   std::printf("[nn-cache] containment speedup over off: %.2fx (coverage %.2f %% -> %.2f %%)\n",
               speedup, results[0].coverage_percent, results[2].coverage_percent);
 
-  std::ofstream out("BENCH_nn_cache.json");
+  const std::filesystem::path report_path = artifact_dir / "BENCH_nn_cache.json";
+  std::ofstream out(report_path);
   if (!out) {
-    std::fprintf(stderr, "[nn-cache] cannot write BENCH_nn_cache.json\n");
+    std::fprintf(stderr, "[nn-cache] cannot write %s\n", report_path.string().c_str());
     return 1;
   }
   obs::JsonWriter w(out);
@@ -164,6 +166,6 @@ int main() {
   w.end_array();
   w.end_object();
   out << '\n';
-  std::printf("[nn-cache] perf report written to BENCH_nn_cache.json\n");
+  std::printf("[nn-cache] perf report written to %s\n", report_path.string().c_str());
   return memo_identical ? 0 : 1;
 }

@@ -245,6 +245,7 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
           spawned = children.size();
           progress.queue_depth = pending.size();
           if (config.on_progress) {
+            progress.elapsed_seconds = watch.seconds();
             config.on_progress(progress);
           }
         }
@@ -283,6 +284,7 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
       }
       leaves.push_back(std::move(outcome));
       if (config.on_progress) {
+        progress.elapsed_seconds = watch.seconds();
         config.on_progress(progress);
       }
     }
@@ -294,6 +296,14 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
       pool.request_drain();
     }
   };
+
+  // t0 snapshot before any ticket runs: heartbeat sinks (--progress-json)
+  // get a baseline line even for runs that finish within one cell.
+  if (config.on_progress) {
+    std::lock_guard lock(mutex);
+    progress.elapsed_seconds = watch.seconds();
+    config.on_progress(progress);
+  }
 
   {
     const std::size_t initial_jobs = pending.size();

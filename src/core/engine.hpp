@@ -41,9 +41,12 @@ struct EngineCheckpoint {
   std::vector<VerifyJob> frontier;
 };
 
-/// Point-in-time view of a run, passed to the progress callback after every
-/// scheduling event (cell finished, cell refined).
+/// Point-in-time view of a run, passed to the progress callback once at
+/// start (the t0 snapshot) and after every scheduling event (cell finished,
+/// cell refined).
 struct EngineProgress {
+  /// Wall-clock seconds since the run (or resume) started.
+  double elapsed_seconds = 0.0;
   /// Jobs waiting in the queue.
   std::size_t queue_depth = 0;
   /// Cells currently being analyzed by workers.

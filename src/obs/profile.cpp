@@ -1,0 +1,138 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace nncs::obs {
+
+std::uint64_t ProfileNode::children_inclusive_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, child] : children) {
+    total += child.inclusive_ns;
+  }
+  return total;
+}
+
+namespace {
+
+void compute_exclusive(ProfileNode& node) {
+  const std::uint64_t kids = node.children_inclusive_ns();
+  // Clamp: a child can marginally overhang its parent when both read the
+  // clock around the same scope exit; self time never goes negative.
+  node.exclusive_ns = node.inclusive_ns > kids ? node.inclusive_ns - kids : 0;
+  for (auto& [name, child] : node.children) {
+    compute_exclusive(child);
+  }
+}
+
+void fold_rec(const ProfileNode& node, std::string& path, std::ostream& os) {
+  const std::size_t saved = path.size();
+  if (!node.name.empty()) {
+    if (!path.empty()) {
+      path += ';';
+    }
+    path += node.name;
+    if (node.exclusive_ns > 0) {
+      // flamegraph.pl takes "stack value"; microseconds keep values sane.
+      os << path << ' ' << node.exclusive_ns / 1000 << '\n';
+    }
+  }
+  for (const auto& [name, child] : node.children) {
+    fold_rec(child, path, os);
+  }
+  path.resize(saved);
+}
+
+void tree_rec(const ProfileNode& node, int depth, double total_ns, std::ostream& os) {
+  if (!node.name.empty()) {
+    const double inclusive_s = static_cast<double>(node.inclusive_ns) * 1e-9;
+    const double exclusive_s = static_cast<double>(node.exclusive_ns) * 1e-9;
+    const double share =
+        total_ns > 0.0 ? 100.0 * static_cast<double>(node.inclusive_ns) / total_ns : 0.0;
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << node.name << "  x"
+       << node.count << "  incl " << std::fixed << std::setprecision(3) << inclusive_s
+       << " s  excl " << exclusive_s << " s  (" << std::setprecision(1) << share << "%)\n";
+    os.unsetf(std::ios::fixed);
+  }
+  // Heaviest subtree first: the profile reads top-down like a flamegraph.
+  std::vector<const ProfileNode*> ordered;
+  ordered.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    ordered.push_back(&child);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const ProfileNode* a, const ProfileNode* b) {
+    return a->inclusive_ns > b->inclusive_ns;
+  });
+  for (const ProfileNode* child : ordered) {
+    tree_rec(*child, node.name.empty() ? depth : depth + 1, total_ns, os);
+  }
+}
+
+}  // namespace
+
+ProfileNode build_profile(const std::vector<TrackedTraceEvent>& events) {
+  ProfileNode root;
+
+  // Group per track; nesting only exists within one thread.
+  std::map<std::uint32_t, std::vector<const TrackedTraceEvent*>> tracks;
+  for (const TrackedTraceEvent& e : events) {
+    tracks[e.tid].push_back(&e);
+  }
+
+  for (auto& [tid, track] : tracks) {
+    // Parents before children: earlier start first, and on an equal start
+    // the longer (outer) span first. RAII spans on one thread are properly
+    // nested, so an interval-containment stack reconstructs the tree.
+    std::stable_sort(track.begin(), track.end(),
+                     [](const TrackedTraceEvent* a, const TrackedTraceEvent* b) {
+                       if (a->event.start_ns != b->event.start_ns) {
+                         return a->event.start_ns < b->event.start_ns;
+                       }
+                       return a->event.duration_ns > b->event.duration_ns;
+                     });
+    struct Open {
+      ProfileNode* node;
+      std::uint64_t end_ns;
+    };
+    std::vector<Open> stack;
+    for (const TrackedTraceEvent* e : track) {
+      const std::uint64_t start = e->event.start_ns;
+      const std::uint64_t end = start + e->event.duration_ns;
+      while (!stack.empty() && start >= stack.back().end_ns) {
+        stack.pop_back();
+      }
+      ProfileNode& parent = stack.empty() ? root : *stack.back().node;
+      ProfileNode& node = parent.children[e->event.name];
+      if (node.name.empty()) {
+        node.name = e->event.name;
+      }
+      ++node.count;
+      node.inclusive_ns += e->event.duration_ns;
+      stack.push_back(Open{&node, end});
+    }
+  }
+
+  root.inclusive_ns = root.children_inclusive_ns();
+  for (const auto& [name, child] : root.children) {
+    root.count += child.count;
+  }
+  compute_exclusive(root);
+  root.exclusive_ns = 0;  // the synthetic root has no self time
+  return root;
+}
+
+ProfileNode build_profile(const TraceRecorder& recorder) {
+  return build_profile(recorder.events());
+}
+
+void write_folded(const ProfileNode& root, std::ostream& os) {
+  std::string path;
+  fold_rec(root, path, os);
+}
+
+void write_profile_tree(const ProfileNode& root, std::ostream& os) {
+  tree_rec(root, 0, static_cast<double>(root.inclusive_ns), os);
+}
+
+}  // namespace nncs::obs

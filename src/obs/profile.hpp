@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace nncs::obs {
+
+/// One node of the aggregated span-call tree. Children are keyed by span
+/// name; `inclusive_ns` counts the whole span durations, `exclusive_ns`
+/// subtracts the children (self time — where the clock actually went).
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+  std::map<std::string, ProfileNode> children;
+
+  /// Total inclusive time of the immediate children.
+  [[nodiscard]] std::uint64_t children_inclusive_ns() const;
+};
+
+/// Aggregate recorded spans into a call tree. Spans recorded by one thread
+/// are properly nested (RAII scopes), so nesting is reconstructed per track
+/// from the (start, duration) intervals: a span is a child of the innermost
+/// span enclosing it, and same-named spans at the same path merge. The
+/// returned root is synthetic (name "", inclusive = sum of top-level spans).
+[[nodiscard]] ProfileNode build_profile(const std::vector<TrackedTraceEvent>& events);
+
+/// Convenience: profile of everything currently held by the recorder.
+[[nodiscard]] ProfileNode build_profile(const TraceRecorder& recorder);
+
+/// Write the tree in the flamegraph "folded stacks" format, one line per
+/// path: `engine;cell.analyze;nn.query 1234` with the value in
+/// MICROSECONDS of exclusive time (feed straight into flamegraph.pl or
+/// speedscope). Paths with zero exclusive time are skipped.
+void write_folded(const ProfileNode& root, std::ostream& os);
+
+/// Human-readable indented tree: per node the call count, inclusive and
+/// exclusive seconds, and the node's share of total inclusive time.
+void write_profile_tree(const ProfileNode& root, std::ostream& os);
+
+}  // namespace nncs::obs

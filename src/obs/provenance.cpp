@@ -10,8 +10,13 @@
 #ifndef NNCS_BUILD_TYPE
 #define NNCS_BUILD_TYPE "unknown"
 #endif
+#ifndef NNCS_CXX_FLAGS
+#define NNCS_CXX_FLAGS ""
+#endif
 
+#include <fstream>
 #include <mutex>
+#include <thread>
 
 namespace nncs::obs {
 
@@ -22,12 +27,38 @@ std::string& scenario_slot() {
   static std::string name;
   return name;
 }
+std::string& fingerprint_slot() {
+  static std::string fingerprint;
+  return fingerprint;
+}
+
+/// First "model name" line of /proc/cpuinfo; "unknown" when unreadable
+/// (non-Linux, restricted container). Read once — the CPU does not change.
+const std::string& cpu_model_name() {
+  static const std::string model = [] {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos && line.compare(0, 10, "model name") == 0) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') {
+          ++start;
+        }
+        return line.substr(start);
+      }
+    }
+    return std::string{"unknown"};
+  }();
+  return model;
+}
 
 }  // namespace
 
-void set_scenario(const std::string& name) {
+void set_scenario(const std::string& name, const std::string& fingerprint) {
   const std::lock_guard<std::mutex> lock(g_scenario_mutex);
   scenario_slot() = name;
+  fingerprint_slot() = fingerprint;
 }
 
 Provenance collect_provenance() {
@@ -39,9 +70,13 @@ Provenance collect_provenance() {
 #else
   p.compiler = "unknown";
 #endif
+  p.compiler_flags = NNCS_CXX_FLAGS;
+  p.cpu_model = cpu_model_name();
+  p.cpu_cores = std::thread::hardware_concurrency();
   {
     const std::lock_guard<std::mutex> lock(g_scenario_mutex);
     p.scenario = scenario_slot();
+    p.scenario_fingerprint = fingerprint_slot();
   }
   p.nncs_scale = env_scale();
   p.nncs_threads = env_threads();
@@ -54,7 +89,11 @@ void write_provenance(JsonWriter& w, const Provenance& p) {
       .field("git_sha", p.git_sha)
       .field("build_type", p.build_type)
       .field("compiler", p.compiler)
+      .field("compiler_flags", p.compiler_flags)
+      .field("cpu_model", p.cpu_model)
+      .field("cpu_cores", static_cast<std::uint64_t>(p.cpu_cores))
       .field("scenario", p.scenario)
+      .field("scenario_fingerprint", p.scenario_fingerprint)
       .field("nncs_scale", p.nncs_scale)
       .field("nncs_threads", static_cast<std::uint64_t>(p.nncs_threads))
       .field("telemetry_enabled", p.telemetry_enabled)

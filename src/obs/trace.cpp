@@ -88,6 +88,18 @@ void TraceRecorder::record(const TraceEvent& event) {
   impl().track_for_this_thread().events.push_back(event);
 }
 
+std::vector<TrackedTraceEvent> TraceRecorder::events() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  std::vector<TrackedTraceEvent> out;
+  for (const auto& track : i.tracks) {
+    for (const auto& e : track.events) {
+      out.push_back(TrackedTraceEvent{track.tid, e});
+    }
+  }
+  return out;
+}
+
 std::size_t TraceRecorder::event_count() const {
   Impl& i = impl();
   std::lock_guard lock(i.mutex);

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace nncs::obs {
 
@@ -20,6 +21,12 @@ struct TraceEvent {
   std::int64_t arg_val0 = 0;
   const char* arg_key1 = nullptr;
   std::int64_t arg_val1 = 0;
+};
+
+/// A recorded event together with the worker track it was recorded on.
+struct TrackedTraceEvent {
+  std::uint32_t tid = 0;
+  TraceEvent event;
 };
 
 /// Process-wide recorder producing chrome://tracing / Perfetto-compatible
@@ -47,6 +54,10 @@ class TraceRecorder {
   /// Emit the Chrome trace-event JSON document ({"traceEvents": [...]}).
   void write_json(std::ostream& os) const;
   void write_json(const std::filesystem::path& path) const;
+
+  /// Snapshot of every recorded event with its track id, time-sorted per
+  /// track (recording order). Feeds the span self-profile (obs/profile.hpp).
+  [[nodiscard]] std::vector<TrackedTraceEvent> events() const;
 
  private:
   TraceRecorder() = default;

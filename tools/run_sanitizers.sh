@@ -26,8 +26,9 @@ case "$mode" in
     build=build-tsan
     sanitize="thread"
     # Concurrency-relevant suites (the scenario smoke runs drive the
-    # threaded verifier); pass your own -R/-E to override.
-    default_filter=(-R "QueryCache|Engine|Obs|Scenario")
+    # threaded verifier; the artifact/profile suites snapshot the sharded
+    # registry and heartbeat sink); pass your own -R/-E to override.
+    default_filter=(-R "QueryCache|Engine|Obs|Scenario|Artifact|Profile|BenchCompare")
     ;;
   *)
     echo "usage: $0 [asan|tsan] [extra ctest args...]" >&2

@@ -6,16 +6,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/engine.hpp"
 #include "core/report_io.hpp"
 #include "core/run_report.hpp"
 #include "core/verifier.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
@@ -43,7 +48,9 @@ void handle_sigint(int) {
                "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
                "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
                "          [--stop-on-violation] [--checkpoint FILE] [--resume FILE]\n"
-               "          [--progress] [--trace-out FILE] [--metrics-out FILE] [--quiet]\n",
+               "          [--progress] [--progress-json FILE] [--profile-out FILE]\n"
+               "          [--trace-out FILE] [--metrics-out FILE] [--artifact-dir DIR]\n"
+               "          [--quiet]\n",
                argv0,
                options.forced_scenario ? "" : " [--scenario NAME] [--list-scenarios]");
   std::exit(2);
@@ -91,6 +98,70 @@ const char* stop_reason_name(EngineStopReason reason) {
   }
   return "?";
 }
+
+/// NDJSON heartbeat sink behind --progress-json: one self-contained JSON
+/// object per line ("nncs-heartbeat v1"), throttled to one line per period
+/// plus the engine's t0 snapshot and a terminal line stamped "final". The
+/// engine serializes progress callbacks, so no locking is needed here.
+class HeartbeatSink {
+ public:
+  HeartbeatSink(std::ofstream stream, double period_seconds)
+      : stream_(std::move(stream)), period_seconds_(period_seconds) {}
+
+  void observe(const EngineProgress& p) {
+    last_ = p;
+    if (seq_ > 0 && p.elapsed_seconds - last_emit_seconds_ < period_seconds_) {
+      return;
+    }
+    emit(p, /*final=*/false, nullptr);
+  }
+
+  void finish(const char* stop_reason) { emit(last_, /*final=*/true, stop_reason); }
+
+  [[nodiscard]] std::size_t lines() const { return seq_; }
+
+ private:
+  void emit(const EngineProgress& p, bool final, const char* stop_reason) {
+    obs::JsonWriter w(stream_);
+    w.begin_object();
+    w.field("schema", "nncs-heartbeat v1");
+    w.field("seq", static_cast<std::uint64_t>(seq_++));
+    w.field("elapsed_s", p.elapsed_seconds);
+    w.field("queue_depth", static_cast<std::uint64_t>(p.queue_depth));
+    w.field("in_flight", static_cast<std::uint64_t>(p.in_flight));
+    w.field("cells_done", static_cast<std::uint64_t>(p.cells_done));
+    w.field("cells_proved", static_cast<std::uint64_t>(p.cells_proved));
+    w.field("cells_failed", static_cast<std::uint64_t>(p.cells_failed));
+    w.field("cells_refined", static_cast<std::uint64_t>(p.cells_refined));
+    if (final) {
+      w.field("final", true);
+      w.field("stop_reason", stop_reason);
+    }
+    // Counter/gauge snapshot: the live view a forwarding server can relay
+    // verbatim. Cheap at heartbeat cadence (merge-on-read).
+    const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    w.key("counters").begin_object();
+    for (const auto& c : snap.counters) {
+      w.field(c.name, c.value);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& g : snap.gauges) {
+      w.field(g.name, g.value);
+    }
+    w.end_object();
+    w.end_object();
+    stream_ << '\n';
+    stream_.flush();  // lines must be visible to a tailing consumer
+    last_emit_seconds_ = p.elapsed_seconds;
+  }
+
+  std::ofstream stream_;
+  double period_seconds_;
+  double last_emit_seconds_ = 0.0;
+  std::size_t seq_ = 0;
+  EngineProgress last_;
+};
 
 [[noreturn]] void list_scenarios(const scenario::Registry& registry) {
   for (const scenario::Scenario* s : registry.all()) {
@@ -149,6 +220,9 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   std::string resume_path;
   std::string trace_path = env_path("NNCS_TRACE_OUT");
   std::string metrics_path = env_path("NNCS_METRICS_OUT");
+  std::string artifact_dir = env_path("NNCS_ARTIFACT_DIR");
+  std::string progress_json_path;
+  std::string profile_path;
   bool canonical_report = false;
   bool show_progress = false;
   bool quiet = false;
@@ -228,10 +302,16 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
       resume_path = need_value(i);
     } else if (!std::strcmp(arg, "--progress")) {
       show_progress = true;
+    } else if (!std::strcmp(arg, "--progress-json")) {
+      progress_json_path = need_value(i);
+    } else if (!std::strcmp(arg, "--profile-out")) {
+      profile_path = need_value(i);
     } else if (!std::strcmp(arg, "--trace-out")) {
       trace_path = need_value(i);
     } else if (!std::strcmp(arg, "--metrics-out")) {
       metrics_path = need_value(i);
+    } else if (!std::strcmp(arg, "--artifact-dir")) {
+      artifact_dir = need_value(i);
     } else if (!std::strcmp(arg, "--quiet")) {
       quiet = true;
     } else {
@@ -241,7 +321,30 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
 
   partition = scenario::resolve(*scen, partition);
   const std::string run_fingerprint = scenario::fingerprint(*scen, partition);
-  obs::set_scenario(scen->name());
+  obs::set_scenario(scen->name(), run_fingerprint);
+
+  // --artifact-dir collects every output of the run in one place: relative
+  // output paths are rebased under it (absolute paths are respected).
+  if (!artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifact_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "%s: cannot create artifact dir %s: %s\n", argv[0],
+                   artifact_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    const auto rebase = [&artifact_dir](std::string& path) {
+      if (!path.empty() && std::filesystem::path(path).is_relative()) {
+        path = (std::filesystem::path(artifact_dir) / path).string();
+      }
+    };
+    // resume_path rides along so a --checkpoint/--resume pair under one
+    // artifact dir round-trips without repeating the directory.
+    for (std::string* out : {&report_path, &checkpoint_path, &trace_path, &metrics_path,
+                             &progress_json_path, &profile_path, &resume_path}) {
+      rebase(*out);
+    }
+  }
 
   // Cell layout is needed up front: resume consistency is checked before
   // the (possibly training) controller assembly.
@@ -290,16 +393,20 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
 
   // Fail fast on unwritable output paths — verification can run for hours
   // and the results would be lost at the final write otherwise.
-  for (const std::string* out : {&report_path, &checkpoint_path, &trace_path, &metrics_path}) {
+  for (const std::string* out : {&report_path, &checkpoint_path, &trace_path, &metrics_path,
+                                 &progress_json_path, &profile_path}) {
     if (!out->empty() && !std::ofstream(*out)) {
       std::fprintf(stderr, "%s: cannot open for writing: %s\n", argv[0], out->c_str());
       return 1;
     }
   }
-  if (!trace_path.empty() || !metrics_path.empty() || env_flag("NNCS_TRACE")) {
+  if (!trace_path.empty() || !metrics_path.empty() || !progress_json_path.empty() ||
+      !profile_path.empty() || env_flag("NNCS_TRACE")) {
     obs::set_enabled(true);
   }
-  if (!trace_path.empty()) {
+  // The self-profile is aggregated from recorded spans, so it needs the
+  // recorder running even when no trace file was requested.
+  if (!trace_path.empty() || !profile_path.empty()) {
     obs::TraceRecorder::instance().start();
   }
 
@@ -332,9 +439,26 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   const TaylorIntegrator integrator(TaylorIntegrator::Config{taylor_order, {}});
   config.reach.integrator = &integrator;
 
-  if (show_progress) {
-    engine_config.on_progress = [watch = Stopwatch{},
+  std::shared_ptr<HeartbeatSink> heartbeat;
+  if (!progress_json_path.empty()) {
+    std::ofstream stream(progress_json_path, std::ios::trunc);
+    if (!stream) {
+      std::fprintf(stderr, "%s: cannot open for writing: %s\n", argv[0],
+                   progress_json_path.c_str());
+      return 1;
+    }
+    heartbeat = std::make_shared<HeartbeatSink>(std::move(stream),
+                                                env_seconds("NNCS_HEARTBEAT_PERIOD", 0.25));
+  }
+  if (show_progress || heartbeat) {
+    engine_config.on_progress = [heartbeat, show_progress, watch = Stopwatch{},
                                  last = -2.0](const EngineProgress& p) mutable {
+      if (heartbeat) {
+        heartbeat->observe(p);
+      }
+      if (!show_progress) {
+        return;
+      }
       const double now = watch.seconds();
       if (now - last < 2.0) {
         return;
@@ -365,6 +489,11 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   }
   std::signal(SIGINT, SIG_DFL);
   obs::TraceRecorder::instance().stop();
+  if (heartbeat) {
+    heartbeat->finish(stop_reason_name(result.stop_reason));
+    std::printf("heartbeat stream written to %s (%zu lines)\n", progress_json_path.c_str(),
+                heartbeat->lines());
+  }
 
   VerifyReport& report = result.report;
   std::printf("coverage %.2f %%  (%zu proved / %zu leaves, %.1f s) [%s]\n",
@@ -464,6 +593,22 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
       obs::TraceRecorder::instance().write_json(std::filesystem::path{trace_path});
       std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
                   obs::TraceRecorder::instance().event_count());
+    });
+  }
+  if (!profile_path.empty()) {
+    guarded([&] {
+      const obs::ProfileNode profile = obs::build_profile(obs::TraceRecorder::instance());
+      std::ofstream folded(profile_path, std::ios::trunc);
+      if (!folded) {
+        throw std::runtime_error("cannot open for writing: " + profile_path);
+      }
+      obs::write_folded(profile, folded);
+      std::printf("folded profile written to %s (%zu spans)\n", profile_path.c_str(),
+                  obs::TraceRecorder::instance().event_count());
+      if (!quiet && profile.inclusive_ns > 0) {
+        std::printf("span self-profile (inclusive/exclusive, heaviest first):\n");
+        obs::write_profile_tree(profile, std::cout);
+      }
     });
   }
   if (!metrics_path.empty()) {
