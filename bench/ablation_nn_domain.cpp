@@ -1,7 +1,13 @@
 // Ablation A4 (§6.6): the abstract domain used for the network transformer
 // F#. ReluVal-style symbolic bounds vs plain intervals: tightness of the
 // abstract controller step (reachable-command count, output widths) and
-// end-to-end proof power.
+// end-to-end proof power. A second sweep holds F# fixed (symbolic) and
+// flips the orthogonal knob this domain feeds into — the *loop* state
+// representation (`--domain box|zonotope` on the driver) — and emits one
+// "nncs-bench v2" artifact per loop domain so the perf pipeline can diff
+// the end-to-end effect across commits.
+//
+// Flags: --artifact-dir DIR (output directory for the BENCH_*.json files).
 
 #include <cstdio>
 #include <iostream>
@@ -10,10 +16,12 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nncs;
   using namespace nncs::bench;
   namespace ax = nncs::acasxu;
+
+  const auto artifact_dir = artifact_dir_from_args(argc, argv);
 
   ax::ScenarioConfig scenario;
   scenario.num_arcs = 16;
@@ -69,6 +77,60 @@ int main() {
       "on ReluVal for this reason and cites affine arithmetic as the alternative).\n"
       "On these networks the zonotope domain wins outright: its argmin test gets\n"
       "complete pairwise cancellation of shared noise symbols, where the\n"
-      "lower/upper-bound symbolic domain loses the relaxation correlation.\n");
+      "lower/upper-bound symbolic domain loses the relaxation correlation.\n\n");
+
+  // The orthogonal knob: F# fixed at its best (symbolic), the loop state
+  // representation flipped between boxes and affine sets. This is the same
+  // sweep the driver's `--domain` flag exposes end to end.
+  Table loop_table("ablation_loop_domain", {"loop_domain", "proved_cells", "time_s"});
+  for (const LoopDomain loop_domain : {LoopDomain::kBox, LoopDomain::kZonotope}) {
+    AcasSystem system = make_acas_system(NnDomain::kSymbolic);
+    ReachConfig config;
+    config.control_steps = 20;
+    config.integration_steps = 10;
+    config.gamma = 5;
+    config.integrator = &integrator;
+    config.domain = loop_domain;
+
+    AcasRunResult run;
+    run.num_arcs = scenario.num_arcs;
+    run.num_headings = scenario.num_headings;
+    run.max_depth = 0;
+    run.root_cells = cells.size();
+    run.proved_by_depth = {0};
+    run.leaves.reserve(cells.size());
+    std::size_t proved = 0;
+    Stopwatch watch;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto result =
+          reach_analyze(system.loop, SymbolicSet{cells[i].state}, error, target, config);
+      const bool cell_proved = result.outcome == ReachOutcome::kProvedSafe;
+      proved += cell_proved ? 1 : 0;
+      CellRecord rec;
+      rec.root_index = i;
+      rec.depth = 0;
+      rec.bearing_lo = cells[i].bearing_lo;
+      rec.bearing_hi = cells[i].bearing_hi;
+      rec.proved = cell_proved;
+      rec.outcome = to_string(result.outcome);
+      rec.seconds = result.stats.seconds;
+      run.leaves.push_back(std::move(rec));
+      run.aggregate.steps_executed += result.stats.steps_executed;
+      run.aggregate.joins += result.stats.joins;
+      run.aggregate.max_states = std::max(run.aggregate.max_states, result.stats.max_states);
+      run.aggregate.total_simulations += result.stats.total_simulations;
+      run.aggregate.seconds += result.stats.seconds;
+    }
+    run.wall_seconds = watch.seconds();
+    run.proved_by_depth[0] = proved;
+    run.coverage_percent =
+        100.0 * static_cast<double>(proved) / static_cast<double>(cells.size());
+
+    const char* name = loop_domain == LoopDomain::kZonotope ? "zonotope" : "box";
+    loop_table.add_row(
+        {name, std::to_string(proved), Table::num(run.wall_seconds, 4)});
+    write_bench_report(std::string("ablation_loop_domain_") + name, run, artifact_dir);
+  }
+  loop_table.print_all(std::cout);
   return 0;
 }

@@ -25,6 +25,10 @@ CommandSet::CommandSet(std::vector<Vec> commands) : commands_(std::move(commands
   }
 }
 
+AffineSet Preprocessor::eval_abstract(const AffineSet& state) const {
+  return AffineSet::from_box(eval_abstract(state.concretize()));
+}
+
 std::size_t ArgminPost::eval(const Vec& network_output) const {
   return concrete_argmin(network_output);
 }
@@ -94,7 +98,8 @@ void NeuralController::configure_cache(const NnCacheConfig& cache) {
 }
 
 bool NeuralController::step_from_cache(std::size_t net_id, AbstractControlStep& result) const {
-  if (auto hit = cache_->find_exact(net_id, result.network_input)) {
+  const auto domain_tag = static_cast<NnQueryCache::DomainTag>(domain_);
+  if (auto hit = cache_->find_exact(net_id, domain_tag, result.network_input)) {
     // Exact match replays the propagation's own result, so memo mode keeps
     // canonical reports byte-identical to cacheless runs.
     result.commands = std::move(hit->commands);
@@ -110,7 +115,7 @@ bool NeuralController::step_from_cache(std::size_t net_id, AbstractControlStep& 
   // on the query box B' ⊆ B; re-concretizing them on B' (output box and the
   // argmin's symbolic differences) yields a sound — if wider — enclosure.
   const std::shared_ptr<const SymbolicBounds> base =
-      cache_->find_containing(net_id, result.network_input);
+      cache_->find_containing(net_id, domain_tag, result.network_input);
   if (!base) {
     cache_->count_miss(/*after_reuse_attempt=*/false);
     return false;
@@ -133,7 +138,7 @@ bool NeuralController::step_from_cache(std::size_t net_id, AbstractControlStep& 
   result.commands = std::move(commands);
   result.network_output = reused->output_box;
   cache_->count_hit(/*containment=*/true);
-  cache_->insert(net_id, result.network_input,
+  cache_->insert(net_id, domain_tag, result.network_input,
                  NnQueryCache::Result{result.commands, result.network_output, std::move(reused)});
   return true;
 }
@@ -156,7 +161,8 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
         result.commands = post_->eval_abstract(*bounds);
       }
       if (cache_) {
-        cache_->insert(net_id, result.network_input,
+        cache_->insert(net_id, static_cast<NnQueryCache::DomainTag>(domain_),
+                       result.network_input,
                        NnQueryCache::Result{result.commands, result.network_output,
                                             std::move(bounds)});
       }
@@ -168,7 +174,8 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
         result.commands = post_->eval_abstract(bounds);
       }
       if (cache_) {
-        cache_->insert(net_id, result.network_input,
+        cache_->insert(net_id, static_cast<NnQueryCache::DomainTag>(domain_),
+                       result.network_input,
                        NnQueryCache::Result{result.commands, result.network_output, nullptr});
       }
     } else {
@@ -178,7 +185,8 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
         result.commands = post_->eval_abstract(result.network_output);
       }
       if (cache_) {
-        cache_->insert(net_id, result.network_input,
+        cache_->insert(net_id, static_cast<NnQueryCache::DomainTag>(domain_),
+                       result.network_input,
                        NnQueryCache::Result{result.commands, result.network_output, nullptr});
       }
     }
@@ -189,6 +197,44 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
   for (const std::size_t c : result.commands) {
     if (c >= commands_.size()) {
       throw std::logic_error("NeuralController::step_abstract: Post# returned out-of-range command");
+    }
+  }
+  return result;
+}
+
+AbstractControlStep NeuralController::step_abstract_relational(
+    const AffineSet& state, std::size_t previous_command) const {
+  if (previous_command >= commands_.size()) {
+    throw std::out_of_range(
+        "NeuralController::step_abstract_relational: bad previous command index");
+  }
+  const Network& net = networks_[selector_[previous_command]];
+  AffineSet pre_image = pre_->eval_abstract(state);
+  AbstractControlStep result;
+  result.network_input = pre_image.concretize();
+  // ReLU relaxations allocate fresh symbols from a *copy* of the set's
+  // source: the network-side symbols stay local to this query and can
+  // never collide with symbols the caller keeps threading.
+  NoiseSource scratch = pre_image.noise();
+  ZonotopeBounds bounds;
+  {
+    NNCS_SPAN("nn.zonotope");
+    bounds = zonotope_propagate(net, pre_image.components(), scratch);
+  }
+  NNCS_COUNT("nn.relational_steps", 1);
+  result.network_output = bounds.output_box;
+  {
+    NNCS_SPAN("nn.argmin");
+    result.commands = post_->eval_abstract(bounds);
+  }
+  if (result.commands.empty()) {
+    throw std::logic_error(
+        "NeuralController::step_abstract_relational: Post# returned no commands (unsound abstract post-processor)");
+  }
+  for (const std::size_t c : result.commands) {
+    if (c >= commands_.size()) {
+      throw std::logic_error(
+          "NeuralController::step_abstract_relational: Post# returned out-of-range command");
     }
   }
   return result;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "interval/affine_set.hpp"
 #include "interval/box.hpp"
 #include "nn/network.hpp"
 #include "nn/query_cache.hpp"
@@ -38,6 +39,12 @@ class Preprocessor {
   [[nodiscard]] virtual Vec eval(const Vec& state) const = 0;
   /// Abstract semantics: must over-approximate {eval(s) | s in box}.
   [[nodiscard]] virtual Box eval_abstract(const Box& state) const = 0;
+  /// Relational abstract semantics over an affine set. The default
+  /// concretizes, applies the boxed transformer and re-lifts — sound for
+  /// any Pre, but correlations die at this stage. Pres that are affine maps
+  /// (identity, per-dimension scaling/offset) should override with the
+  /// exact image so the correlations reach the network.
+  [[nodiscard]] virtual AffineSet eval_abstract(const AffineSet& state) const;
 };
 
 /// Identity pre-processing (the network reads the sampled state directly).
@@ -48,6 +55,7 @@ class IdentityPre final : public Preprocessor {
   [[nodiscard]] std::size_t output_dim() const override { return dim_; }
   [[nodiscard]] Vec eval(const Vec& state) const override { return state; }
   [[nodiscard]] Box eval_abstract(const Box& state) const override { return state; }
+  [[nodiscard]] AffineSet eval_abstract(const AffineSet& state) const override { return state; }
 
  private:
   std::size_t dim_;
@@ -118,6 +126,14 @@ class Controller {
   /// controller can produce from any state in the box.
   [[nodiscard]] virtual AbstractControlStep step_abstract(
       const Box& state, std::size_t previous_command) const = 0;
+  /// Relational abstract control step over an affine set. The default boxes
+  /// the set and delegates to `step_abstract` (sound for any controller);
+  /// `NeuralController` overrides it to thread the affine forms through
+  /// Pre# and the zonotope network transformer without intermediate boxing.
+  [[nodiscard]] virtual AbstractControlStep step_abstract_relational(
+      const AffineSet& state, std::size_t previous_command) const {
+    return step_abstract(state.concretize(), previous_command);
+  }
 };
 
 /// The generic neural network based controller N of §4.3 (Fig 2/5):
@@ -145,6 +161,12 @@ class NeuralController final : public Controller {
   /// starts. `NnCacheMode::kOff` removes the cache entirely.
   void configure_cache(const NnCacheConfig& cache);
 
+  /// Share an existing cache instance (e.g. one cache across the
+  /// controllers of several domains — entries are domain-keyed, so mixed
+  /// queries cannot cross-contaminate). Same thread-safety caveat as
+  /// `configure_cache`. Null detaches the cache.
+  void adopt_cache(std::shared_ptr<NnQueryCache> cache) { cache_ = std::move(cache); }
+
   /// The active cache, or nullptr when mode is off.
   [[nodiscard]] const NnQueryCache* query_cache() const { return cache_.get(); }
 
@@ -156,6 +178,15 @@ class NeuralController final : public Controller {
   /// controller can produce from any state in the box.
   [[nodiscard]] AbstractControlStep step_abstract(const Box& state,
                                                   std::size_t previous_command) const override;
+
+  /// Relational step Pre# ∘ F# ∘ Post# over an affine set: the pre-image
+  /// keeps the state's noise symbols, the zonotope transformer consumes the
+  /// affine forms directly and the argmin post-processor prunes on the
+  /// relational output differences. Bypasses the NN query cache — cache
+  /// entries are keyed by input *box*, which cannot distinguish two
+  /// zonotopes with the same hull, so replaying one would be unsound.
+  [[nodiscard]] AbstractControlStep step_abstract_relational(
+      const AffineSet& state, std::size_t previous_command) const override;
 
  private:
   /// Cache consult: fills commands/network_output on a hit (exact match, or

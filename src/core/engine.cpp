@@ -239,7 +239,7 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
           interior += res.stats;
           ++progress.cells_refined;
           for (Box& child : children) {
-            pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command},
+            pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command, nullptr},
                                         job.depth + 1, job.root_index});
           }
           spawned = children.size();

@@ -7,6 +7,26 @@
 
 namespace nncs {
 
+const char* to_string(LoopDomain domain) {
+  switch (domain) {
+    case LoopDomain::kBox:
+      return "box";
+    case LoopDomain::kZonotope:
+      return "zonotope";
+  }
+  return "?";
+}
+
+std::optional<LoopDomain> parse_loop_domain(std::string_view text) {
+  if (text == "box") {
+    return LoopDomain::kBox;
+  }
+  if (text == "zonotope") {
+    return LoopDomain::kZonotope;
+  }
+  return std::nullopt;
+}
+
 const char* to_string(ReachOutcome outcome) {
   switch (outcome) {
     case ReachOutcome::kProvedSafe:
@@ -127,10 +147,29 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
       }
       phases.check_seconds += phase_watch.lap();
 
-      // Algorithm 1: validated simulation over one control period.
-      Flowpipe pipe = simulate(*system.plant, *config.integrator, state.box,
-                               commands[state.command], system.period,
-                               config.integration_steps);
+      // Algorithm 1: validated simulation over one control period. In the
+      // zonotope domain the affine set is threaded through the sub-steps
+      // (and later into the controller); the boxed flowpipe view below is
+      // what the error checks and recordings consume either way.
+      Flowpipe pipe;
+      std::shared_ptr<const AffineSet> end_relational;
+      std::optional<AffineSet> sampled_lift;
+      if (config.domain == LoopDomain::kZonotope) {
+        sampled_lift.emplace(state.relational ? *state.relational
+                                              : AffineSet::from_box(state.box));
+        AffineFlowpipe affine_pipe =
+            simulate_affine(*system.plant, *config.integrator, *sampled_lift,
+                            commands[state.command], system.period, config.integration_steps);
+        pipe.segments = std::move(affine_pipe.segments);
+        pipe.end = affine_pipe.end_box;
+        pipe.ok = affine_pipe.ok;
+        if (affine_pipe.ok) {
+          end_relational = std::make_shared<AffineSet>(std::move(affine_pipe.end));
+        }
+      } else {
+        pipe = simulate(*system.plant, *config.integrator, state.box,
+                        commands[state.command], system.period, config.integration_steps);
+      }
       phases.simulate_seconds += phase_watch.lap();
       ++result.stats.total_simulations;
       if (!pipe.ok) {
@@ -149,7 +188,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
           if (error.possibly_intersects(segment, state.command)) {
             phases.check_seconds += phase_watch.lap();
             result.outcome = ReachOutcome::kErrorReachable;
-            result.offending = SymbolicState{segment, state.command};
+            result.offending = SymbolicState{segment, state.command, nullptr};
             result.offending_step = j;
             result.stats.steps_executed = j;
             result.stats.seconds = watch.seconds();
@@ -159,12 +198,18 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
       }
       phases.check_seconds += phase_watch.lap();
 
-      // Abstract controller execution on the *sampled* box [s_j]
-      // (the command computed at step j is applied from (j+1)T on).
-      const AbstractControlStep ctrl = system.controller->step_abstract(state.box, state.command);
+      // Abstract controller execution on the *sampled* state at t = jT
+      // (the command computed at step j is applied from (j+1)T on). The
+      // relational step feeds the sampled affine set straight into
+      // Pre# → F# → Post#, so the correlations the integrator preserved
+      // prune commands a box sample could not.
+      const AbstractControlStep ctrl =
+          sampled_lift
+              ? system.controller->step_abstract_relational(*sampled_lift, state.command)
+              : system.controller->step_abstract(state.box, state.command);
       phases.controller_seconds += phase_watch.lap();
       for (const std::size_t cmd : ctrl.commands) {
-        next.push_back(SymbolicState{pipe.end, cmd});
+        next.push_back(SymbolicState{pipe.end, cmd, end_relational});
       }
       if (config.record_flowpipes) {
         step_pipes.push_back(std::move(pipe));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -22,6 +23,27 @@ struct ClosedLoop {
   /// Controller period T in seconds.
   double period = 1.0;
 };
+
+/// Abstract domain threaded through the closed loop, i.e. the shape of the
+/// set representation handed from the integrator's post-image to the next
+/// control step.
+enum class LoopDomain {
+  /// Boxes everywhere (the paper's Algorithm 3): each control step samples
+  /// an interval hull, so variable correlations die at every hand-off.
+  kBox,
+  /// Affine sets end to end: the validated integrator's linear-part image
+  /// keeps the step's noise symbols alive, the controller consumes them via
+  /// the zonotope network transformer (Pre# → NN → Post# without
+  /// intermediate boxing) and the post-image seeds the next step. Error and
+  /// target membership are still decided on the concretized boxes — the
+  /// relational form only tightens them.
+  kZonotope,
+};
+
+[[nodiscard]] const char* to_string(LoopDomain domain);
+
+/// Parse "box" / "zonotope"; nullopt on anything else.
+[[nodiscard]] std::optional<LoopDomain> parse_loop_domain(std::string_view text);
 
 /// Parameters of the reachability procedure (Algorithm 3).
 struct ReachConfig {
@@ -46,6 +68,10 @@ struct ReachConfig {
   NnCacheConfig nn_cache;
   /// Record every flowpipe (memory-heavy; for plots and tests).
   bool record_flowpipes = false;
+  /// Set representation threaded between integrator and controller.
+  /// `kBox` reproduces the original pipeline bit for bit; `kZonotope`
+  /// carries affine sets across the loop.
+  LoopDomain domain = LoopDomain::kBox;
 };
 
 /// Verdict of one reachability analysis.

@@ -53,6 +53,7 @@ void write_run_report(std::ostream& os, std::string_view label, const VerifyRepo
       .field("integration_steps", static_cast<std::int64_t>(config.reach.integration_steps))
       .field("gamma", static_cast<std::uint64_t>(config.reach.gamma))
       .field("check_intermediate", config.reach.check_intermediate)
+      .field("domain", to_string(config.reach.domain))
       .field("nn_cache_mode", to_string(config.reach.nn_cache.mode))
       .field("nn_cache_max_entries",
              static_cast<std::uint64_t>(config.reach.nn_cache.max_entries))

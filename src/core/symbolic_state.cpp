@@ -18,7 +18,9 @@ SymbolicState join(const SymbolicState& a, const SymbolicState& b) {
   if (a.command != b.command) {
     throw std::invalid_argument("join: symbolic states carry different commands");
   }
-  return SymbolicState{hull(a.box, b.box), a.command};
+  // The relational refinement (if any) dies at the join: the hull box is
+  // the only sound common representation, and the next step re-lifts it.
+  return SymbolicState{hull(a.box, b.box), a.command, nullptr};
 }
 
 ResizeStats resize(SymbolicSet& set, std::size_t gamma) {

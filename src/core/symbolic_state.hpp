@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "interval/affine_set.hpp"
 #include "interval/box.hpp"
 
 namespace nncs {
@@ -14,6 +16,14 @@ namespace nncs {
 struct SymbolicState {
   Box box;
   std::size_t command = 0;
+  /// Optional relational refinement of `box` carried by the zonotope loop
+  /// domain: an affine set with concretize() ⊆ box describing the same
+  /// states with their correlations. Null in the box domain, and dropped
+  /// (reset to null) by `join` — re-lifting from the hull box is sound, it
+  /// just pays one wrapping hit at the join instead of propagating one per
+  /// step. Shared because sibling states forked by a command split alias
+  /// the same continuous post-image.
+  std::shared_ptr<const AffineSet> relational = nullptr;
 };
 
 /// Symbolic set (paper Def 8): a finite collection of symbolic states whose

@@ -158,6 +158,13 @@ Affine operator*(double k, const Affine& a) {
   return out;
 }
 
+void Affine::add_error(double magnitude) {
+  if (!(magnitude >= 0.0)) {
+    throw std::invalid_argument("Affine::add_error: magnitude must be >= 0");
+  }
+  err_ = rnd::add_up(err_, magnitude);
+}
+
 Affine Affine::relu(NoiseSource& source) const {
   const Interval r = range();
   if (r.lo() >= 0.0) {

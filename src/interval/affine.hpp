@@ -87,6 +87,11 @@ class Affine {
   /// with the ±μ/2 deviation attached as a fresh noise symbol.
   [[nodiscard]] Affine relu(NoiseSource& source) const;
 
+  /// Fold a nonnegative deviation magnitude into the anonymous error term
+  /// (sound widening; `AffineSet::linear_image` uses it to absorb interval
+  /// matrix radii and remainder terms). Throws on negative or NaN input.
+  void add_error(double magnitude);
+
  private:
   double center_ = 0.0;
   std::vector<std::pair<std::uint32_t, double>> terms_;

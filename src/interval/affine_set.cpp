@@ -1,0 +1,163 @@
+#include "interval/affine_set.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nncs {
+
+namespace {
+
+/// Deviation bound around the midpoint: dev such that x ⊆ [m - dev, m + dev]
+/// with m = x.mid(). Computed from the actual bounds (not the half-width),
+/// so it stays rigorous even when the midpoint rounding error exceeds an
+/// ulp of the radius.
+double dev_from_mid(const Interval& x) {
+  const double m = x.mid();
+  return std::max(rnd::sub_up(x.hi(), m), rnd::sub_up(m, x.lo()));
+}
+
+}  // namespace
+
+IntervalMatrix IntervalMatrix::identity(std::size_t n) {
+  IntervalMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.at(i, i) = Interval{1.0};
+  }
+  return m;
+}
+
+double IntervalMatrix::inf_norm() const {
+  double norm = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row_sum = rnd::add_up(row_sum, at(r, c).mag());
+    }
+    norm = std::max(norm, row_sum);
+  }
+  return norm;
+}
+
+void IntervalMatrix::inflate(double delta) {
+  if (!(delta >= 0.0)) {
+    throw std::invalid_argument("IntervalMatrix::inflate: delta must be >= 0");
+  }
+  if (delta == 0.0) {
+    return;
+  }
+  for (Interval& entry : data) {
+    entry = entry.inflated(delta);
+  }
+}
+
+IntervalMatrix operator*(const IntervalMatrix& a, const IntervalMatrix& b) {
+  if (a.cols != b.rows) {
+    throw std::invalid_argument("IntervalMatrix: product shape mismatch");
+  }
+  IntervalMatrix out(a.rows, b.cols);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (std::size_t c = 0; c < b.cols; ++c) {
+      Interval acc;
+      for (std::size_t k = 0; k < a.cols; ++k) {
+        acc += a.at(r, k) * b.at(k, c);
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+IntervalMatrix operator+(const IntervalMatrix& a, const IntervalMatrix& b) {
+  if (a.rows != b.rows || a.cols != b.cols) {
+    throw std::invalid_argument("IntervalMatrix: sum shape mismatch");
+  }
+  IntervalMatrix out(a.rows, a.cols);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = a.data[i] + b.data[i];
+  }
+  return out;
+}
+
+IntervalMatrix operator*(const Interval& k, const IntervalMatrix& a) {
+  IntervalMatrix out(a.rows, a.cols);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = k * a.data[i];
+  }
+  return out;
+}
+
+AffineSet AffineSet::from_box(const Box& box) {
+  AffineSet set;
+  set.forms_.reserve(box.dim());
+  for (std::size_t i = 0; i < box.dim(); ++i) {
+    set.forms_.push_back(Affine::variable(box[i].lo(), box[i].hi(), set.source_));
+  }
+  return set;
+}
+
+Box AffineSet::concretize() const {
+  std::vector<Interval> dims;
+  dims.reserve(forms_.size());
+  for (const Affine& form : forms_) {
+    dims.push_back(form.range());
+  }
+  return Box{std::move(dims)};
+}
+
+AffineSet AffineSet::linear_image(const IntervalMatrix& m,
+                                  const std::vector<Interval>& offset) const {
+  if (m.cols != dim()) {
+    throw std::invalid_argument("AffineSet::linear_image: matrix shape mismatch");
+  }
+  if (!offset.empty() && offset.size() != m.rows) {
+    throw std::invalid_argument("AffineSet::linear_image: offset size mismatch");
+  }
+  // Component magnitudes (sup |x_c|) are reused across every output row.
+  std::vector<double> mags;
+  mags.reserve(forms_.size());
+  for (const Affine& form : forms_) {
+    mags.push_back(form.range().mag());
+  }
+  AffineSet out;
+  out.source_ = source_;  // shares the symbol space; adds no symbols
+  out.forms_.reserve(m.rows);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    Affine acc;
+    double extra = 0.0;
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      const Interval& k = m.at(r, c);
+      const double k_mid = k.mid();
+      if (k_mid != 0.0) {
+        acc += k_mid * forms_[c];
+      }
+      // The entry deviation around its midpoint multiplies the whole
+      // component — center included, not just its spread — so it scales the
+      // component's magnitude sup |x_c| into the anonymous error term (the
+      // relational loss of the interval part of the matrix; zero for point
+      // matrices).
+      const double k_dev = dev_from_mid(k);
+      if (k_dev != 0.0) {
+        extra = rnd::add_up(extra, rnd::mul_up(k_dev, mags[c]));
+      }
+    }
+    if (!offset.empty()) {
+      const double o_mid = offset[r].mid();
+      if (o_mid != 0.0) {
+        acc += o_mid;
+      }
+      extra = rnd::add_up(extra, dev_from_mid(offset[r]));
+    }
+    acc.add_error(extra);
+    out.forms_.push_back(std::move(acc));
+  }
+  return out;
+}
+
+void AffineSet::replace_component(std::size_t i, const Interval& range) {
+  if (i >= forms_.size()) {
+    throw std::out_of_range("AffineSet::replace_component: index out of range");
+  }
+  forms_[i] = Affine::variable(range.lo(), range.hi(), source_);
+}
+
+}  // namespace nncs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/affine.hpp"
+#include "interval/box.hpp"
+
+namespace nncs {
+
+/// Dense interval matrix, row-major. Small helper for the affine-form
+/// integrator step (interval Taylor polynomials of the matrix exponential);
+/// not a general linear-algebra type.
+struct IntervalMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Interval> data;
+
+  IntervalMatrix() = default;
+  IntervalMatrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c) {}
+
+  static IntervalMatrix identity(std::size_t n);
+
+  Interval& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  [[nodiscard]] const Interval& at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+
+  /// Upper bound on the induced infinity norm (max absolute row sum of
+  /// entry magnitudes, rounded up).
+  [[nodiscard]] double inf_norm() const;
+
+  /// Widen every entry by ±delta (delta >= 0).
+  void inflate(double delta);
+};
+
+/// Sound interval matrix product / sum / scaling.
+IntervalMatrix operator*(const IntervalMatrix& a, const IntervalMatrix& b);
+IntervalMatrix operator+(const IntervalMatrix& a, const IntervalMatrix& b);
+IntervalMatrix operator*(const Interval& k, const IntervalMatrix& a);
+
+/// Affine-form (zonotope) vector state: one `Affine` per dimension, all
+/// sharing one noise-symbol source, so linear correlations between
+/// dimensions survive across pipeline stages (plant → Pre# → network →
+/// integrator) instead of being destroyed by intermediate boxing.
+///
+/// The represented set is { (c_1 + Σ a_1i·ε_i ± e_1, ...) | ε ∈ [-1,1]^k } —
+/// a zonotope whose concretization (`concretize`) is the per-component
+/// interval hull. Soundness: every component operation goes through the
+/// outward-rounded `Affine` arithmetic, so the zonotope always contains the
+/// true image of the represented set.
+///
+/// Symbols are only meaningful within one set (and the values derived from
+/// it); forms from different sets must never be mixed.
+class AffineSet {
+ public:
+  AffineSet() = default;
+
+  /// Lift a box: one fresh noise symbol per non-degenerate dimension. The
+  /// round trip from_box(b).concretize() reproduces `b` up to the rounding
+  /// slack of the affine arithmetic.
+  static AffineSet from_box(const Box& box);
+
+  [[nodiscard]] std::size_t dim() const { return forms_.size(); }
+  [[nodiscard]] bool empty() const { return forms_.empty(); }
+
+  [[nodiscard]] const Affine& operator[](std::size_t i) const { return forms_[i]; }
+  [[nodiscard]] const std::vector<Affine>& components() const { return forms_; }
+
+  /// The set's noise-symbol source. Callers composing further affine
+  /// operations (ReLU relaxations, re-lifts) must allocate fresh symbols
+  /// from here — or from a copy, when the derived forms stay local.
+  [[nodiscard]] NoiseSource& noise() { return source_; }
+  [[nodiscard]] const NoiseSource& noise() const { return source_; }
+
+  /// Per-component interval hull (sound outward-rounded enclosure).
+  [[nodiscard]] Box concretize() const;
+
+  /// Sound linear image  y = M·x + offset  where `M` is an interval matrix
+  /// (rows = output dim, cols = dim()) and `offset` an interval vector
+  /// (size rows, or empty for zero). Midpoints of the matrix entries are
+  /// applied exactly on the affine forms — shared symbols survive — while
+  /// entry radii (times component magnitudes sup |x_c|) and offset radii
+  /// fold into each output's anonymous error term. Adds no noise symbols.
+  [[nodiscard]] AffineSet linear_image(const IntervalMatrix& m,
+                                       const std::vector<Interval>& offset = {}) const;
+
+  /// Replace component `i` with a fresh interval variable over `range`.
+  /// Sound whenever `range` encloses the component's true values; used as
+  /// the per-dimension fallback when a boxed enclosure is tighter than the
+  /// affine one (correlations of that component are forgotten).
+  void replace_component(std::size_t i, const Interval& range);
+
+ private:
+  std::vector<Affine> forms_;
+  NoiseSource source_;
+};
+
+}  // namespace nncs

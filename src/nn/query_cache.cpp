@@ -90,6 +90,7 @@ NnCacheConfig nn_cache_config_from_env() {
 
 std::size_t NnQueryCache::KeyHash::operator()(const Key& key) const {
   std::size_t seed = hash_combine(0, key.net_id);
+  seed = hash_combine(seed, key.domain);
   for (const Interval& iv : key.input.intervals()) {
     seed = hash_combine(seed, bound_bits(iv.lo()));
     seed = hash_combine(seed, bound_bits(iv.hi()));
@@ -106,16 +107,17 @@ NnQueryCache::NnQueryCache(NnCacheConfig config) : config_(config) {
 
 NnQueryCache::~NnQueryCache() { clear(); }
 
-NnQueryCache::Shard& NnQueryCache::shard_for(std::size_t net_id, const Box& input) {
-  Key probe{net_id, input};
+NnQueryCache::Shard& NnQueryCache::shard_for(std::size_t net_id, DomainTag domain,
+                                             const Box& input) {
+  Key probe{net_id, domain, input};
   return shards_[KeyHash{}(probe) % kShards];
 }
 
-std::optional<NnQueryCache::Result> NnQueryCache::find_exact(std::size_t net_id,
+std::optional<NnQueryCache::Result> NnQueryCache::find_exact(std::size_t net_id, DomainTag domain,
                                                              const Box& input) {
   NNCS_SPAN("nn.cache.lookup");
-  Shard& shard = shard_for(net_id, input);
-  const Key key{net_id, input};
+  Shard& shard = shard_for(net_id, domain, input);
+  const Key key{net_id, domain, input};
   std::lock_guard lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
@@ -126,6 +128,7 @@ std::optional<NnQueryCache::Result> NnQueryCache::find_exact(std::size_t net_id,
 }
 
 std::shared_ptr<const SymbolicBounds> NnQueryCache::find_containing(std::size_t net_id,
+                                                                    DomainTag domain,
                                                                     const Box& input) {
   NNCS_SPAN("nn.cache.lookup");
   // Containment is not a hash lookup: scan the shard's MRU window for the
@@ -140,7 +143,7 @@ std::shared_ptr<const SymbolicBounds> NnQueryCache::find_containing(std::size_t 
       if (++scanned > config_.containment_scan) {
         break;
       }
-      if (entry.key.net_id != net_id || !entry.result.symbolic) {
+      if (entry.key.net_id != net_id || entry.key.domain != domain || !entry.result.symbolic) {
         continue;
       }
       if (!entry.key.input.contains(input)) {
@@ -156,9 +159,9 @@ std::shared_ptr<const SymbolicBounds> NnQueryCache::find_containing(std::size_t 
   return best;
 }
 
-void NnQueryCache::insert(std::size_t net_id, const Box& input, Result result) {
-  Shard& shard = shard_for(net_id, input);
-  Key key{net_id, input};
+void NnQueryCache::insert(std::size_t net_id, DomainTag domain, const Box& input, Result result) {
+  Shard& shard = shard_for(net_id, domain, input);
+  Key key{net_id, domain, input};
   const std::size_t bytes = entry_bytes(input, result);
   std::size_t evicted = 0;
   std::size_t evicted_bytes = 0;

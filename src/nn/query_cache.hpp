@@ -63,14 +63,22 @@ struct NnCacheConfig {
 [[nodiscard]] NnCacheConfig nn_cache_config_from_env();
 
 /// Sharded, thread-safe, LRU-bounded memo of abstract NN controller-step
-/// results, keyed by (network id, pre-processed input box). One instance is
-/// shared by every thread analyzing cells of one verification run (it hangs
-/// off the `NeuralController`), so reuse crosses cell and thread boundaries.
+/// results, keyed by (network id, abstract domain, pre-processed input
+/// box). One instance is shared by every thread analyzing cells of one
+/// verification run (it hangs off the `NeuralController`), so reuse crosses
+/// cell and thread boundaries. The domain tag keeps mixed-domain sharing
+/// sound: an interval-domain result replayed for a symbolic-domain query
+/// (or vice versa) would silently substitute one transformer's enclosure
+/// for another's. Relational (affine-input) queries never consult the cache
+/// at all — a box key cannot represent a zonotope's correlations.
 ///
 /// Box keys hash their bounds' bit patterns with -0.0 canonicalized to 0.0,
 /// matching `Box::operator==` (which compares doubles, so -0.0 == 0.0).
 class NnQueryCache {
  public:
+  /// Opaque domain tag mixed into the key (callers pass their NnDomain
+  /// enumerator value; the cache only needs distinctness).
+  using DomainTag = std::uint8_t;
   /// One cached abstract step: the pruned command set and output enclosure,
   /// plus — for symbolic-domain entries — the affine bounds themselves so
   /// containment mode can re-concretize them on tighter boxes.
@@ -108,16 +116,19 @@ class NnQueryCache {
   /// Exact-match lookup; promotes the entry to most-recently-used. Does not
   /// touch the hit/miss statistics — the caller reports the overall outcome
   /// of the step through count_hit()/count_miss() once it is known.
-  [[nodiscard]] std::optional<Result> find_exact(std::size_t net_id, const Box& input);
+  [[nodiscard]] std::optional<Result> find_exact(std::size_t net_id, DomainTag domain,
+                                                 const Box& input);
 
-  /// Tightest cached symbolic-domain entry (within the containment_scan MRU
-  /// window of the shard) whose input box contains `input`; null when none.
+  /// Tightest cached entry of the same domain carrying symbolic bounds
+  /// (within the containment_scan MRU window of each shard) whose input box
+  /// contains `input`; null when none.
   [[nodiscard]] std::shared_ptr<const SymbolicBounds> find_containing(std::size_t net_id,
+                                                                      DomainTag domain,
                                                                       const Box& input);
 
   /// Insert (or refresh) an entry; evicts least-recently-used entries past
   /// `max_entries`.
-  void insert(std::size_t net_id, const Box& input, Result result);
+  void insert(std::size_t net_id, DomainTag domain, const Box& input, Result result);
 
   void count_hit(bool containment);
   void count_miss(bool after_reuse_attempt);
@@ -131,10 +142,11 @@ class NnQueryCache {
  private:
   struct Key {
     std::size_t net_id = 0;
+    DomainTag domain = 0;
     Box input;
 
     bool operator==(const Key& other) const {
-      return net_id == other.net_id && input == other.input;
+      return net_id == other.net_id && domain == other.domain && input == other.input;
     }
   };
 
@@ -156,7 +168,7 @@ class NnQueryCache {
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
   };
 
-  Shard& shard_for(std::size_t net_id, const Box& input);
+  Shard& shard_for(std::size_t net_id, DomainTag domain, const Box& input);
 
   NnCacheConfig config_;
   std::size_t max_per_shard_ = 0;

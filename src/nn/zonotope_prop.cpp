@@ -15,6 +15,15 @@ ZonotopeBounds zonotope_propagate(const Network& net, const Box& input) {
   for (std::size_t i = 0; i < input.dim(); ++i) {
     current.push_back(Affine::variable(input[i].lo(), input[i].hi(), source));
   }
+  return zonotope_propagate(net, std::move(current), source);
+}
+
+ZonotopeBounds zonotope_propagate(const Network& net, std::vector<Affine> inputs,
+                                  NoiseSource& source) {
+  if (inputs.size() != net.input_dim()) {
+    throw std::invalid_argument("zonotope_propagate: input dimension mismatch");
+  }
+  std::vector<Affine> current = std::move(inputs);
 
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
     const Layer& layer = net.layers()[li];

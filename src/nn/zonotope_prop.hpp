@@ -25,6 +25,15 @@ struct ZonotopeBounds {
 /// domain (which keeps per-neuron lower AND upper input-space bounds).
 ZonotopeBounds zonotope_propagate(const Network& net, const Box& input);
 
+/// Relational variant: propagate affine-form inputs directly, preserving
+/// whatever correlations the caller's forms carry (e.g. a plant-state
+/// zonotope threaded through Pre#). `source` must be the noise source the
+/// input forms were built from (or a copy of it) so the fresh ReLU symbols
+/// cannot collide with the input symbols. The boxed overload above is the
+/// special case where the inputs are freshly lifted independent variables.
+ZonotopeBounds zonotope_propagate(const Network& net, std::vector<Affine> inputs,
+                                  NoiseSource& source);
+
 /// Sound argmin candidates from zonotope bounds: k is excluded when some
 /// output j is provably smaller on the whole zonotope, i.e. the affine
 /// difference y_j − y_k (shared symbols cancel) has range strictly below 0.

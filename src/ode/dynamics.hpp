@@ -1,15 +1,38 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "interval/box.hpp"
 #include "interval/scalar_ops.hpp"
 #include "ode/taylor_series.hpp"
 
 namespace nncs {
+
+/// Exact linear decomposition of a vector field,
+///   f(s, u) = A·s + B·u + g(s),
+/// with `a` the state_dim × state_dim matrix A and `b` the
+/// state_dim × command_dim matrix B, both row-major. The residual g must
+/// not depend on u (the command must enter the field exactly as B·u).
+///
+/// By default g is implicit (f minus the linear part) and the affine-form
+/// integrator step recovers it by interval evaluation of f − A·s − B·u.
+/// That subtraction is sound but suffers interval dependency blow-up when
+/// the nonlinearity nearly cancels the linear term (e.g. sin θ − θ, where
+/// the generic evaluation is ~2·|θ|-wide instead of O(|θ|³)). Declaring
+/// `residual` replaces it with a caller-supplied tight interval extension
+/// of g — a soundness claim: residual(s, out) must enclose
+/// { f(x, u) − A·x − B·u | x ∈ s } for every u.
+struct LinearPart {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::function<void(std::span<const Interval>, std::span<Interval>)> residual;
+};
 
 /// Right-hand side of an autonomous controlled ODE  s' = f(s, u)  where `u`
 /// is the actuation command, constant over each evaluation (the closed-loop
@@ -36,6 +59,12 @@ class Dynamics {
                     std::span<Interval> out) const = 0;
   virtual void eval(std::span<const TaylorSeries> s, std::span<const TaylorSeries> u,
                     std::span<TaylorSeries> out) const = 0;
+
+  /// The linear part of the field, when one is declared (see `LinearPart`).
+  /// Null by default: the affine-form integrator step then falls back to a
+  /// boxed step. Returning a non-null decomposition is a soundness claim —
+  /// f(s,u) − A·s − B·u must be the exact residual.
+  [[nodiscard]] virtual const LinearPart* linear_part() const { return nullptr; }
 };
 
 /// Adapts a functor templated on the scalar type to the `Dynamics`
@@ -47,6 +76,17 @@ class DynamicsModel final : public Dynamics {
  public:
   DynamicsModel(std::size_t state_dim, std::size_t command_dim, F f)
       : state_dim_(state_dim), command_dim_(command_dim), f_(std::move(f)) {}
+
+  DynamicsModel(std::size_t state_dim, std::size_t command_dim, F f, LinearPart linear)
+      : state_dim_(state_dim),
+        command_dim_(command_dim),
+        f_(std::move(f)),
+        linear_(std::make_unique<LinearPart>(std::move(linear))) {
+    if (linear_->a.size() != state_dim_ * state_dim_ ||
+        linear_->b.size() != state_dim_ * command_dim_) {
+      throw std::invalid_argument("DynamicsModel: linear part shape mismatch");
+    }
+  }
 
   [[nodiscard]] std::size_t state_dim() const override { return state_dim_; }
   [[nodiscard]] std::size_t command_dim() const override { return command_dim_; }
@@ -64,15 +104,25 @@ class DynamicsModel final : public Dynamics {
     f_(s, u, out);
   }
 
+  [[nodiscard]] const LinearPart* linear_part() const override { return linear_.get(); }
+
  private:
   std::size_t state_dim_;
   std::size_t command_dim_;
   F f_;
+  std::unique_ptr<LinearPart> linear_;
 };
 
 template <class F>
 std::unique_ptr<Dynamics> make_dynamics(std::size_t state_dim, std::size_t command_dim, F f) {
   return std::make_unique<DynamicsModel<F>>(state_dim, command_dim, std::move(f));
+}
+
+template <class F>
+std::unique_ptr<Dynamics> make_dynamics(std::size_t state_dim, std::size_t command_dim, F f,
+                                        LinearPart linear) {
+  return std::make_unique<DynamicsModel<F>>(state_dim, command_dim, std::move(f),
+                                            std::move(linear));
 }
 
 /// Evaluate f over an interval box (helper shared by the integrators).

@@ -25,6 +25,23 @@ Box picard_image(const Dynamics& f, const Box& s0, const Vec& u, double h, const
 
 }  // namespace
 
+std::optional<AffineValidatedStep> ValidatedIntegrator::step_affine(const Dynamics& f,
+                                                                    const AffineSet& s0,
+                                                                    const Vec& u, double h) const {
+  // Generic fallback: box the set, take the boxed step, re-lift. Sound, but
+  // correlations between dimensions are forgotten for this step.
+  const auto boxed = step(f, s0.concretize(), u, h);
+  if (!boxed) {
+    return std::nullopt;
+  }
+  NNCS_COUNT("ode.affine_boxed_fallbacks", 1);
+  AffineValidatedStep out;
+  out.flow = boxed->flow;
+  out.end = AffineSet::from_box(boxed->end);
+  out.end_box = boxed->end;
+  return out;
+}
+
 std::optional<Box> picard_enclosure(const Dynamics& f, const Box& s0, const Vec& u, double h,
                                     const PicardConfig& config) {
   if (h <= 0.0 || !std::isfinite(h)) {
@@ -144,6 +161,136 @@ std::optional<ValidatedStep> TaylorIntegrator::step(const Dynamics& f, const Box
   return ValidatedStep{Box{std::move(flow_dims)}, Box{std::move(end_dims)}};
 }
 
+std::optional<AffineValidatedStep> TaylorIntegrator::step_affine(const Dynamics& f,
+                                                                const AffineSet& s0, const Vec& u,
+                                                                double h) const {
+  const LinearPart* lp = f.linear_part();
+  if (lp == nullptr) {
+    return ValidatedIntegrator::step_affine(f, s0, u, h);
+  }
+  // The boxed step supplies both the flow enclosure (error checks stay on
+  // boxes) and the per-dimension tightness floor.
+  const auto boxed = step(f, s0.concretize(), u, h);
+  if (!boxed) {
+    return std::nullopt;
+  }
+  NNCS_SPAN("affine_step");
+  const std::size_t n = f.state_dim();
+  const std::size_t cmd_dim = f.command_dim();
+  const std::size_t order = static_cast<std::size_t>(config_.order);
+
+  IntervalMatrix a_mat(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a_mat.at(i, j) = Interval{lp->a[i * n + j]};
+    }
+  }
+  const IntervalMatrix ah = Interval{h} * a_mat;
+  const double r = ah.inf_norm();
+  if (!(r <= static_cast<double>(order) + 1.0)) {
+    // ‖Ah‖∞ too large for the K-term tail bound (the geometric factor
+    // needs r < K+2); a smaller sub-step would fix it, boxing is sound.
+    NNCS_COUNT("ode.affine_tail_fallbacks", 1);
+    return ValidatedIntegrator::step_affine(f, s0, u, h);
+  }
+
+  // Variation of constants: s(h) = e^{Ah}s(0) + Ψ·B·u + ∫e^{A(h−τ)}g dτ
+  // with Ψ = ∫_0^h e^{Aσ}dσ. Enclose the exponential series by its K-term
+  // interval Taylor prefix:
+  //   Φ_K = Σ_{k<=K} (Ah)^k/k!,   Ψ_K = Σ_{k<=K} (Ah)^k·h/(k+1)!.
+  IntervalMatrix phi = IntervalMatrix::identity(n);
+  IntervalMatrix psi = Interval{h} * IntervalMatrix::identity(n);
+  IntervalMatrix power = IntervalMatrix::identity(n);
+  Interval factorial{1.0};
+  for (std::size_t k = 1; k <= order; ++k) {
+    power = power * ah;
+    factorial *= Interval{static_cast<double>(k)};
+    phi = phi + (Interval{1.0} / factorial) * power;
+    psi = psi + (Interval{h} / (factorial * Interval{static_cast<double>(k + 1)})) * power;
+  }
+  // Rigorous tails: every entry of (Ah)^k is within ±r^k, so the dropped
+  // terms are entrywise within ±t for Φ (and ±h·t for Ψ, whose k-th term
+  // carries the extra factor h/(k+1)):
+  //   t = r^{K+1}/(K+1)! · 1/(1 − r/(K+2)),   valid for r < K+2.
+  const Interval r_iv{0.0, r};
+  Interval tail = pow(r_iv, config_.order + 1) / (factorial * Interval{static_cast<double>(order + 1)});
+  tail = tail / (Interval{1.0} - r_iv / Interval{static_cast<double>(order + 2)});
+  const double t_phi = tail.mag();
+  phi.inflate(t_phi);
+  psi.inflate(rnd::mul_up(h, t_phi));
+
+  // Constant drive B·u.
+  std::vector<Interval> bu(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Interval acc;
+    for (std::size_t k = 0; k < cmd_dim; ++k) {
+      acc += Interval{lp->b[i * cmd_dim + k]} * Interval{u[k]};
+    }
+    bu[i] = acc;
+  }
+  // Nonlinear residual g(s) = f(s,u) − A·s − B·u, enclosed over the flow
+  // enclosure (which contains s(τ) for every τ in [0, h]). Use the declared
+  // tight extension when the model supplies one — the generic interval
+  // subtraction is sound but blows up when g nearly cancels A·s (see
+  // LinearPart docs).
+  std::vector<Interval> w(n);
+  if (lp->residual) {
+    lp->residual(boxed->flow.intervals(), w);
+  } else {
+    const Box fb = eval_on_box(f, boxed->flow, u);
+    for (std::size_t i = 0; i < n; ++i) {
+      Interval lin;
+      for (std::size_t j = 0; j < n; ++j) {
+        lin += a_mat.at(i, j) * boxed->flow[j];
+      }
+      w[i] = fb[i] - lin - bu[i];
+    }
+  }
+  // Split g(s(τ)) = m + δ(τ) around the enclosure midpoint m. The drift
+  // part convolves exactly, ∫e^{A(h−τ)}m dτ = Ψ·m, and flows into the
+  // offset (a center shift, not error — symmetrizing it would turn any
+  // consistent drift into compounding wrap error). Only the deviation
+  // δ(τ) ∈ [w]−m needs the crude entrywise bound ±h·e^r·‖rad‖∞.
+  std::vector<Interval> w_mid(n);
+  double rad_inf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m_i = w[i].mid();
+    w_mid[i] = Interval{m_i};
+    rad_inf = std::max(rad_inf, (w[i] - Interval{m_i}).mag());
+  }
+  const double deviation = (Interval{h} * exp(r_iv) * Interval{rad_inf}).mag();
+
+  std::vector<Interval> offset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Interval acc{-deviation, deviation};
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += psi.at(i, j) * (bu[j] + w_mid[j]);
+    }
+    offset[i] = acc;
+  }
+  AffineSet end = s0.linear_image(phi, offset);
+
+  // Per-dimension floor: the boxed Taylor step is sound too, so intersecting
+  // ranges is sound, and a dimension whose affine range is wider than the
+  // boxed one gains nothing from its correlations — re-lift it from the
+  // tighter interval so the affine step is never worse than boxing.
+  std::vector<Interval> end_dims;
+  end_dims.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Interval affine_range = end[i].range();
+    Interval tight = boxed->end[i];
+    if (auto isect = intersect(affine_range, boxed->end[i])) {
+      tight = *isect;
+    }
+    end_dims.push_back(tight);
+    if (affine_range.width() > boxed->end[i].width()) {
+      NNCS_COUNT("ode.affine_dim_fallbacks", 1);
+      end.replace_component(i, tight);
+    }
+  }
+  return AffineValidatedStep{boxed->flow, std::move(end), Box{std::move(end_dims)}};
+}
+
 EulerIntegrator::EulerIntegrator(PicardConfig config) : config_(std::move(config)) {}
 
 std::optional<ValidatedStep> EulerIntegrator::step(const Dynamics& f, const Box& s0, const Vec& u,
@@ -207,6 +354,38 @@ Flowpipe simulate(const Dynamics& f, const ValidatedIntegrator& integrator, cons
     t_prev = t_next;
   }
   pipe.end = current;
+  return pipe;
+}
+
+AffineFlowpipe simulate_affine(const Dynamics& f, const ValidatedIntegrator& integrator,
+                               const AffineSet& s0, const Vec& u, double period, int steps) {
+  if (steps < 1 || period <= 0.0) {
+    throw std::invalid_argument("simulate_affine: need steps >= 1 and period > 0");
+  }
+  AffineFlowpipe pipe;
+  pipe.segments.reserve(static_cast<std::size_t>(steps));
+  AffineSet current = s0;
+  // Same sub-step schedule as the boxed `simulate`, but the end set is
+  // threaded through as an affine form — no re-boxing between sub-steps.
+  double t_prev = 0.0;
+  for (int i = 1; i <= steps; ++i) {
+    const double t_next = i == steps ? period : period * static_cast<double>(i) / steps;
+    const double h = t_next - t_prev;
+    auto step = integrator.step_affine(f, current, u, h);
+    NNCS_COUNT("ode.substeps", 1);
+    if (!step) {
+      NNCS_COUNT("ode.step_rejections", 1);
+      pipe.ok = false;
+      pipe.end = std::move(current);
+      pipe.end_box = pipe.end.concretize();
+      return pipe;
+    }
+    pipe.segments.push_back(std::move(step->flow));
+    current = std::move(step->end);
+    pipe.end_box = std::move(step->end_box);
+    t_prev = t_next;
+  }
+  pipe.end = std::move(current);
   return pipe;
 }
 

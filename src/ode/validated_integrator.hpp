@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "interval/affine_set.hpp"
 #include "interval/box.hpp"
 #include "ode/dynamics.hpp"
 
@@ -18,6 +19,17 @@ struct ValidatedStep {
   Box end;
 };
 
+/// Relational variant of a validated step: the end-of-step set is an affine
+/// form over the input set's noise symbols (correlations survive), the flow
+/// enclosure stays boxed (error-set checks consume boxes). `end_box` is the
+/// componentwise intersection of the affine concretization with the boxed
+/// step's end — never wider than either.
+struct AffineValidatedStep {
+  Box flow;
+  AffineSet end;
+  Box end_box;
+};
+
 /// A validated (sound) one-step ODE integrator: given s(0) ∈ s0 and the
 /// constant command u, produce boxes enclosing the exact solution.
 /// Returns nullopt when no enclosure could be established (a-priori
@@ -28,6 +40,16 @@ class ValidatedIntegrator {
 
   [[nodiscard]] virtual std::optional<ValidatedStep> step(const Dynamics& f, const Box& s0,
                                                           const Vec& u, double h) const = 0;
+
+  /// Affine-form step: like `step` but threading an affine set through the
+  /// enclosure. The base implementation concretizes, runs the boxed step
+  /// and re-lifts its end box (sound, but forgets correlations);
+  /// `TaylorIntegrator` overrides it with a variation-of-constants scheme
+  /// on the dynamics' linear part.
+  [[nodiscard]] virtual std::optional<AffineValidatedStep> step_affine(const Dynamics& f,
+                                                                      const AffineSet& s0,
+                                                                      const Vec& u,
+                                                                      double h) const;
 };
 
 /// Configuration shared by the Picard a-priori enclosure search.
@@ -67,6 +89,20 @@ class TaylorIntegrator final : public ValidatedIntegrator {
 
   [[nodiscard]] std::optional<ValidatedStep> step(const Dynamics& f, const Box& s0, const Vec& u,
                                                   double h) const override;
+
+  /// Affine-form step via variation of constants on the declared linear
+  /// part f = A·s + B·u + g:
+  ///   s(h) = e^{Ah}·s(0) + (∫e^{Aσ}dσ)·B·u + ∫e^{A(h−τ)}·g(s(τ)) dτ,
+  /// with e^{Ah} and its integral enclosed by order-K interval Taylor
+  /// polynomials plus a rigorous tail bound, applied to the affine set as a
+  /// linear image (the correlation-preserving part), and the nonlinear
+  /// residual g enclosed intervally over the boxed flow enclosure. Each end
+  /// component falls back to the boxed step's (lifted) end interval when
+  /// that is tighter, so the affine step is never worse than boxing.
+  /// Dynamics without a linear part use the base-class boxed fallback.
+  [[nodiscard]] std::optional<AffineValidatedStep> step_affine(const Dynamics& f,
+                                                              const AffineSet& s0, const Vec& u,
+                                                              double h) const override;
 
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -108,5 +144,21 @@ struct Flowpipe {
 /// `period` using M successive validated steps.
 Flowpipe simulate(const Dynamics& f, const ValidatedIntegrator& integrator, const Box& s0,
                   const Vec& u, double period, int steps);
+
+/// Relational flowpipe: boxed per-sub-step enclosures (for error checks)
+/// plus the affine-form end-of-period set.
+struct AffineFlowpipe {
+  std::vector<Box> segments;
+  AffineSet end;
+  /// Componentwise-tightened box enclosing s(T) (⊆ end.concretize()).
+  Box end_box;
+  bool ok = true;
+};
+
+/// Algorithm 1 over the affine domain: chain M affine validated steps so
+/// the end set never re-boxes between sub-steps — this is where the
+/// wrapping effect of the boxed loop dies.
+AffineFlowpipe simulate_affine(const Dynamics& f, const ValidatedIntegrator& integrator,
+                               const AffineSet& s0, const Vec& u, double period, int steps);
 
 }  // namespace nncs

@@ -1,5 +1,6 @@
 #include "scenario/acasxu_scenario.hpp"
 #include "scenario/cruise_control.hpp"
+#include "scenario/pendulum.hpp"
 #include "scenario/unicycle.hpp"
 #include "scenario/scenario.hpp"
 
@@ -8,6 +9,7 @@ namespace nncs::scenario {
 void register_builtins(Registry& registry) {
   registry.add(make_acasxu_scenario());
   registry.add(make_cruise_control_scenario());
+  registry.add(make_pendulum_scenario());
   registry.add(make_unicycle_scenario());
 }
 

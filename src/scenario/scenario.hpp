@@ -167,7 +167,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Scenario>, std::less<>> scenarios_;
 };
 
-/// Register the built-in scenarios (acasxu, cruise_control, unicycle) into
+/// Register the built-in scenarios (acasxu, cruise_control, pendulum,
+/// unicycle) into
 /// `registry`. `Registry::global()` calls this once on first use.
 void register_builtins(Registry& registry);
 

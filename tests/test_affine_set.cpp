@@ -1,0 +1,203 @@
+// Tests for the affine-form vector state (AffineSet) and its IntervalMatrix
+// helper: box round-trip exactness, fuzzed soundness of linear_image against
+// sampled concrete images, exactness of pure rotations (the relational
+// property the zonotope loop domain exists for), and the per-component
+// fallback.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "interval/affine_set.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+double sample(Rng& rng, const Interval& iv) { return rng.uniform(iv.lo(), iv.hi()); }
+
+Box random_box(Rng& rng, std::size_t dim) {
+  Box box(dim, Interval{});
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double lo = rng.uniform(-2.0, 2.0);
+    box[i] = Interval{lo, lo + rng.uniform(0.0, 1.5)};
+  }
+  return box;
+}
+
+// ------------------------------------------------------------ IntervalMatrix
+
+TEST(IntervalMatrix, IdentityActsAsNeutralElement) {
+  Rng rng(7);
+  IntervalMatrix a(3, 3);
+  for (Interval& entry : a.data) {
+    const double mid = rng.uniform(-2.0, 2.0);
+    entry = Interval{mid - 0.1, mid + 0.1};
+  }
+  const IntervalMatrix left = IntervalMatrix::identity(3) * a;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_LE(left.data[i].lo(), a.data[i].lo());
+    EXPECT_GE(left.data[i].hi(), a.data[i].hi());
+    EXPECT_NEAR(left.data[i].lo(), a.data[i].lo(), 1e-12);
+    EXPECT_NEAR(left.data[i].hi(), a.data[i].hi(), 1e-12);
+  }
+}
+
+TEST(IntervalMatrix, ProductContainsSampledPointProducts) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalMatrix a(2, 3);
+    IntervalMatrix b(3, 2);
+    for (Interval& entry : a.data) {
+      const double mid = rng.uniform(-1.5, 1.5);
+      entry = Interval{mid - rng.uniform(0.0, 0.2), mid + rng.uniform(0.0, 0.2)};
+    }
+    for (Interval& entry : b.data) {
+      const double mid = rng.uniform(-1.5, 1.5);
+      entry = Interval{mid - rng.uniform(0.0, 0.2), mid + rng.uniform(0.0, 0.2)};
+    }
+    const IntervalMatrix product = a * b;
+    // One concrete selection from each interval entry per trial.
+    std::vector<double> pa(a.data.size());
+    std::vector<double> pb(b.data.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      pa[i] = sample(rng, a.data[i]);
+    }
+    for (std::size_t i = 0; i < pb.size(); ++i) {
+      pb[i] = sample(rng, b.data[i]);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < 3; ++k) {
+          acc += pa[i * 3 + k] * pb[k * 2 + j];
+        }
+        EXPECT_TRUE(product.at(i, j).contains(acc))
+            << "entry (" << i << "," << j << ") " << acc;
+      }
+    }
+  }
+}
+
+TEST(IntervalMatrix, InfNormBoundsRowSumsAndInflateWidens) {
+  IntervalMatrix m(2, 2);
+  m.at(0, 0) = Interval{-1.0, 2.0};
+  m.at(0, 1) = Interval{0.5};
+  m.at(1, 0) = Interval{0.0};
+  m.at(1, 1) = Interval{-3.0, -1.0};
+  EXPECT_GE(m.inf_norm(), 3.0);  // max(|row0|, |row1|) = max(2.5, 3)
+  m.inflate(0.25);
+  EXPECT_TRUE(m.at(1, 0).contains(0.25));
+  EXPECT_TRUE(m.at(1, 0).contains(-0.25));
+  EXPECT_GE(m.inf_norm(), 3.25);
+}
+
+// ----------------------------------------------------------------- AffineSet
+
+TEST(AffineSet, FromBoxRoundTripIsExact) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box box = random_box(rng, 2 + trial % 3);
+    if (trial % 4 == 0) {
+      box[0] = Interval{box[0].lo()};  // degenerate dimension
+    }
+    const Box back = AffineSet::from_box(box).concretize();
+    ASSERT_EQ(back.dim(), box.dim());
+    for (std::size_t i = 0; i < box.dim(); ++i) {
+      // The round trip must still contain the box (soundness) and reproduce
+      // it up to the rounding slack of the affine arithmetic.
+      EXPECT_LE(back[i].lo(), box[i].lo());
+      EXPECT_GE(back[i].hi(), box[i].hi());
+      EXPECT_NEAR(back[i].lo(), box[i].lo(), 1e-9);
+      EXPECT_NEAR(back[i].hi(), box[i].hi(), 1e-9);
+    }
+  }
+}
+
+TEST(AffineSetFuzz, LinearImageContainsSampledImages) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + trial % 3;
+    const std::size_t m = 2 + (trial / 3) % 3;
+    const Box box = random_box(rng, n);
+    const AffineSet set = AffineSet::from_box(box);
+
+    IntervalMatrix mat(m, n);
+    for (Interval& entry : mat.data) {
+      const double mid = rng.uniform(-2.0, 2.0);
+      entry = Interval{mid - rng.uniform(0.0, 0.1), mid + rng.uniform(0.0, 0.1)};
+    }
+    std::vector<Interval> offset(m);
+    for (Interval& o : offset) {
+      const double mid = rng.uniform(-1.0, 1.0);
+      o = Interval{mid - rng.uniform(0.0, 0.1), mid + rng.uniform(0.0, 0.1)};
+    }
+
+    const Box out = set.linear_image(mat, offset).concretize();
+    ASSERT_EQ(out.dim(), m);
+    for (int k = 0; k < 20; ++k) {
+      Vec x(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        x[j] = sample(rng, box[j]);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        double y = sample(rng, offset[i]);
+        for (std::size_t j = 0; j < n; ++j) {
+          y += sample(rng, mat.at(i, j)) * x[j];
+        }
+        EXPECT_TRUE((Interval{out[i].lo() - 1e-9, out[i].hi() + 1e-9}.contains(y)))
+            << "trial " << trial << " output " << i << ": " << y << " outside ["
+            << out[i].lo() << ", " << out[i].hi() << "]";
+      }
+    }
+  }
+}
+
+TEST(AffineSet, RotationRoundTripStaysTight) {
+  // Rotate the unit square by 30 degrees and back through the affine set:
+  // the shared noise symbols cancel and the result is the original square up
+  // to a few ulps. The boxed pipeline would pay the wrapping factor
+  // cos+sin ~ 1.37 at EACH rotation (width ~ 3.73 after the round trip) —
+  // this cancellation is exactly what the zonotope loop domain buys.
+  const double c = std::cos(std::numbers::pi / 6.0);
+  const double s = std::sin(std::numbers::pi / 6.0);
+  IntervalMatrix rot(2, 2);
+  rot.at(0, 0) = Interval{c};
+  rot.at(0, 1) = Interval{-s};
+  rot.at(1, 0) = Interval{s};
+  rot.at(1, 1) = Interval{c};
+  IntervalMatrix rot_back(2, 2);
+  rot_back.at(0, 0) = Interval{c};
+  rot_back.at(0, 1) = Interval{s};
+  rot_back.at(1, 0) = Interval{-s};
+  rot_back.at(1, 1) = Interval{c};
+
+  const Box square{Interval{-1.0, 1.0}, Interval{-1.0, 1.0}};
+  const AffineSet rotated = AffineSet::from_box(square).linear_image(rot);
+  const Box boxed_once = rotated.concretize();
+  EXPECT_GT(boxed_once[0].width(), 2.7);  // the hull really is inflated
+
+  const Box round_trip = rotated.linear_image(rot_back).concretize();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(round_trip[i].contains(square[i]));
+    EXPECT_NEAR(round_trip[i].width(), 2.0, 1e-9);
+  }
+}
+
+TEST(AffineSet, ReplaceComponentInstallsRangeAndKeepsOthers) {
+  const Box box{Interval{0.0, 1.0}, Interval{2.0, 3.0}};
+  AffineSet set = AffineSet::from_box(box);
+  set.replace_component(0, Interval{5.0, 7.0});
+  const Box out = set.concretize();
+  EXPECT_LE(out[0].lo(), 5.0);
+  EXPECT_GE(out[0].hi(), 7.0);
+  EXPECT_NEAR(out[0].lo(), 5.0, 1e-9);
+  EXPECT_NEAR(out[0].hi(), 7.0, 1e-9);
+  EXPECT_TRUE(out[1].contains(box[1]));
+  EXPECT_NEAR(out[1].width(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nncs

@@ -1,0 +1,106 @@
+// Cross-domain soundness fuzz for the network transformers F#: for random
+// ReLU networks and input boxes, every sampled concrete forward pass must
+// land inside the output enclosure of EVERY abstract domain — interval,
+// symbolic (ReluVal-style lower/upper forms) and zonotope.
+//
+// Deliberately NOT asserted: a strict pairwise tightness ordering such as
+// "zonotope ⊆ symbolic ⊆ interval". No such order holds in general. The
+// symbolic domain's chord + larger-side-α ReLU relaxation and the zonotope's
+// symmetric relaxation are incomparable — each wins on some networks (the
+// zonotope's shared-symbol cancellation dominates on argmin-style
+// differences, the one-sided α choice can be tighter on lopsided
+// pre-activation ranges), and on purely affine layers all three are exact,
+// so even non-strict orderings degenerate to ties broken by rounding slack.
+// Soundness (containment of the concrete image) is the only law every
+// domain must obey, so that is what this suite fuzzes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/interval_prop.hpp"
+#include "nn/symbolic_prop.hpp"
+#include "nn/zonotope_prop.hpp"
+#include "util/rng.hpp"
+
+namespace nncs {
+namespace {
+
+Network random_network(std::uint64_t seed, std::vector<std::size_t> sizes) {
+  Rng rng(seed);
+  Network net = make_zero_network(sizes);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (double& w : net.layer(li).weights.data()) {
+      w = rng.uniform(-1.0, 1.0);
+    }
+    for (double& b : net.layer(li).biases) {
+      b = rng.uniform(-0.3, 0.3);
+    }
+  }
+  return net;
+}
+
+void expect_inside(const Box& enclosure, const Vec& y, const char* domain,
+                   std::uint64_t seed) {
+  ASSERT_EQ(enclosure.dim(), y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE((Interval{enclosure[i].lo() - 1e-7, enclosure[i].hi() + 1e-7}.contains(y[i])))
+        << domain << " enclosure violated (seed " << seed << ", output " << i << "): "
+        << y[i] << " outside [" << enclosure[i].lo() << ", " << enclosure[i].hi() << "]";
+  }
+}
+
+TEST(DomainContainmentFuzz, SampledOutputsInsideEveryDomain) {
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {2, 5, 2}, {3, 8, 8, 2}, {4, 6, 3}, {2, 10, 10, 5}};
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto& sizes = shapes[seed % shapes.size()];
+    const Network net = random_network(seed, sizes);
+
+    Rng rng(seed * 7919);
+    Box input(sizes.front(), Interval{});
+    for (std::size_t i = 0; i < input.dim(); ++i) {
+      const double lo = rng.uniform(-1.5, 1.0);
+      input[i] = Interval{lo, lo + rng.uniform(0.0, 1.0)};
+    }
+
+    const Box interval_out = interval_propagate(net, input);
+    const SymbolicBounds symbolic = symbolic_propagate(net, input);
+    const ZonotopeBounds zonotope = zonotope_propagate(net, input);
+
+    for (int k = 0; k < 40; ++k) {
+      Vec x(input.dim());
+      for (std::size_t i = 0; i < input.dim(); ++i) {
+        x[i] = rng.uniform(input[i].lo(), input[i].hi());
+      }
+      const Vec y = net.eval(x);
+      expect_inside(interval_out, y, "interval", seed);
+      expect_inside(symbolic.output_box, y, "symbolic", seed);
+      expect_inside(zonotope.output_box, y, "zonotope", seed);
+    }
+  }
+}
+
+// Degenerate (point) inputs: every domain must collapse to (nearly) the
+// concrete evaluation — a regression guard for rounding-slack inflation in
+// the relational domains' concretizations.
+TEST(DomainContainmentFuzz, PointInputsCollapseToConcreteEvaluation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Network net = random_network(seed, {3, 6, 6, 2});
+    Rng rng(seed * 104729);
+    Vec x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    Box input{Interval{x[0]}, Interval{x[1]}, Interval{x[2]}};
+    const Vec y = net.eval(x);
+    for (const Box& out : {interval_propagate(net, input),
+                           symbolic_propagate(net, input).output_box,
+                           zonotope_propagate(net, input).output_box}) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(out[i].lo(), y[i], 1e-6);
+        EXPECT_NEAR(out[i].hi(), y[i], 1e-6);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nncs

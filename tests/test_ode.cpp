@@ -244,6 +244,147 @@ TEST_P(FlowpipeSoundness, ConcreteTrajectoriesStayInside) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Affine-form steps (the zonotope loop domain's integrator): soundness
+// against the concrete simulator, the never-worse-than-boxing floor, the
+// correlation survival on rotations, and the declared-residual tightening.
+// ---------------------------------------------------------------------------
+
+/// Damped pendulum-like field with a declared linear part,
+///   f(s, u) = A·s + B·u + (0, -(sin s0 - s0)),
+/// used both with the implicit residual (interval evaluation of f - A·s -
+/// B·u) and with the tight monotone-endpoint extension.
+struct SoftPendulumField {
+  template <class S>
+  void operator()(std::span<const S> s, std::span<const S> u, std::span<S> out) const {
+    out[0] = s[1] + 0.0 * s[0];
+    out[1] = -sin(s[0]) - Interval{0.2} * s[1] + u[0];
+  }
+  void operator()(std::span<const double> s, std::span<const double> u,
+                  std::span<double> out) const {
+    out[0] = s[1];
+    out[1] = -std::sin(s[0]) - 0.2 * s[1] + u[0];
+  }
+};
+
+LinearPart soft_pendulum_linear(bool tight_residual) {
+  LinearPart lp{{0.0, 1.0, -1.0, -0.2}, {0.0, 1.0}};
+  if (tight_residual) {
+    // sin x - x is non-increasing, so its exact range over [lo, hi] is the
+    // hull of the outward-rounded endpoint evaluations.
+    lp.residual = [](std::span<const Interval> s, std::span<Interval> out) {
+      const Interval lo{s[0].lo()};
+      const Interval hi{s[0].hi()};
+      out[0] = Interval{};
+      out[1] = -hull(sin(lo) - lo, sin(hi) - hi);
+    };
+  }
+  return lp;
+}
+
+/// Pure rotation with an exact (zero) declared residual.
+std::unique_ptr<Dynamics> rotation_dynamics() {
+  LinearPart lp{{0.0, 1.0, -1.0, 0.0}, {0.0, 0.0}};
+  lp.residual = [](std::span<const Interval>, std::span<Interval> out) {
+    out[0] = Interval{};
+    out[1] = Interval{};
+  };
+  return make_dynamics(2, 1, OscillatorField{}, lp);
+}
+
+TEST(AffineStep, EndBoxNeverWiderThanBoxedStep) {
+  const auto f = make_dynamics(2, 1, SoftPendulumField{}, soft_pendulum_linear(true));
+  const TaylorIntegrator integrator;
+  Rng rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double c0 = rng.uniform(-0.6, 0.6);
+    const double c1 = rng.uniform(-0.8, 0.8);
+    const double w = rng.uniform(0.01, 0.3);
+    const Box s0{Interval{c0 - w, c0 + w}, Interval{c1 - w, c1 + w}};
+    const Vec u{rng.uniform(-1.0, 1.0)};
+    // Mirror the integrator's own boxed companion step exactly (it runs on
+    // the lifted set's concretization, which carries a few ulps of lift
+    // slack over s0) so the floor guarantee is a deterministic containment.
+    const AffineSet lifted = AffineSet::from_box(s0);
+    const auto boxed = integrator.step(*f, lifted.concretize(), u, 0.05);
+    const auto affine = integrator.step_affine(*f, lifted, u, 0.05);
+    ASSERT_TRUE(boxed.has_value());
+    ASSERT_TRUE(affine.has_value());
+    EXPECT_TRUE(boxed->end.contains(affine->end_box)) << "trial " << trial;
+    EXPECT_TRUE(affine->end.concretize().contains(affine->end_box));
+  }
+}
+
+TEST(AffineStep, SoundAgainstConcreteTrajectories) {
+  const auto f = make_dynamics(2, 1, SoftPendulumField{}, soft_pendulum_linear(true));
+  const TaylorIntegrator integrator;
+  const Box s0{Interval{0.2, 0.4}, Interval{-0.3, -0.1}};
+  const Vec u{0.5};
+  const double h = 0.08;
+  const auto affine = integrator.step_affine(*f, AffineSet::from_box(s0), u, h);
+  ASSERT_TRUE(affine.has_value());
+  Rng rng(43);
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec s{rng.uniform(s0[0].lo(), s0[0].hi()), rng.uniform(s0[1].lo(), s0[1].hi())};
+    EXPECT_TRUE(affine->flow.contains(s));
+    // Flow must cover the whole step, end_box the endpoint.
+    for (int sub = 0; sub < 8; ++sub) {
+      s = rk4_step(*f, s, u, h / 8.0);
+      EXPECT_TRUE(affine->flow.contains(s)) << "mid-step escape, trial " << trial;
+    }
+    EXPECT_TRUE(affine->end_box.contains(s)) << "end escape, trial " << trial;
+  }
+}
+
+TEST(AffineStep, DeclaredResidualIsTighterThanImplicit) {
+  const Box s0{Interval{-0.5, 0.5}, Interval{-0.2, 0.2}};
+  const Vec u{0.0};
+  const TaylorIntegrator integrator;
+  const auto f_implicit =
+      make_dynamics(2, 1, SoftPendulumField{}, soft_pendulum_linear(false));
+  const auto f_tight = make_dynamics(2, 1, SoftPendulumField{}, soft_pendulum_linear(true));
+  const auto implicit = integrator.step_affine(*f_implicit, AffineSet::from_box(s0), u, 0.1);
+  const auto tight = integrator.step_affine(*f_tight, AffineSet::from_box(s0), u, 0.1);
+  ASSERT_TRUE(implicit.has_value());
+  ASSERT_TRUE(tight.has_value());
+  // The implicit interval recovery of sin x - x over a zero-centred box is
+  // ~2|x|-wide from dependency loss; the monotone endpoint extension is
+  // O(|x|^3). Velocity (the dimension the residual feeds) must come out
+  // strictly tighter, and never looser anywhere.
+  EXPECT_LT(tight->end_box[1].width(), implicit->end_box[1].width());
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_LE(tight->end_box[i].width(), implicit->end_box[i].width() + 1e-12);
+  }
+}
+
+TEST(SimulateAffine, RotationStaysTightWhereBoxingWraps) {
+  const auto f = rotation_dynamics();
+  const TaylorIntegrator integrator;
+  const Box s0{Interval{0.9, 1.1}, Interval{-0.1, 0.1}};
+  const Vec u{0.0};
+  const int steps = 10;
+  const double period = 1.2;
+  const Flowpipe boxed = simulate(*f, integrator, s0, u, period, steps);
+  const AffineFlowpipe affine =
+      simulate_affine(*f, integrator, AffineSet::from_box(s0), u, period, steps);
+  ASSERT_TRUE(boxed.ok);
+  ASSERT_TRUE(affine.ok);
+  // Rotation is an isometry: the affine end set keeps widths ~0.2 while the
+  // boxed pipeline compounds a wrapping factor every sub-step.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_LE(affine.end_box[i].width(), boxed.end[i].width());
+    EXPECT_LT(affine.end_box[i].width(), 0.3);
+  }
+  EXPECT_GT(boxed.end[0].width(), affine.end_box[0].width() * 1.5);
+  // And it is still sound: concrete endpoints stay inside.
+  Rng rng(47);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec s{rng.uniform(s0[0].lo(), s0[0].hi()), rng.uniform(s0[1].lo(), s0[1].hi())};
+    s = rk4_integrate(*f, s, u, period, 256);
+    EXPECT_TRUE(affine.end_box.contains(s)) << "trial " << trial;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Systems, FlowpipeSoundness,
     ::testing::Values(

@@ -41,15 +41,33 @@ TEST(QueryCache, ModeNamesRoundTrip) {
 TEST(QueryCache, ExactFindReturnsInsertedResult) {
   NnQueryCache cache;
   const Box input{Interval{0.0, 1.0}, Interval{-1.0, 1.0}};
-  EXPECT_FALSE(cache.find_exact(3, input).has_value());
-  cache.insert(3, input, make_result({1, 2}, Box{Interval{5.0, 6.0}}));
-  const auto hit = cache.find_exact(3, input);
+  EXPECT_FALSE(cache.find_exact(3, 0, input).has_value());
+  cache.insert(3, 0, input, make_result({1, 2}, Box{Interval{5.0, 6.0}}));
+  const auto hit = cache.find_exact(3, 0, input);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->commands, (std::vector<std::size_t>{1, 2}));
   EXPECT_EQ(hit->output_box, (Box{Interval{5.0, 6.0}}));
-  // Different network id or different box: miss.
-  EXPECT_FALSE(cache.find_exact(4, input).has_value());
-  EXPECT_FALSE(cache.find_exact(3, Box{Interval{0.0, 2.0}, Interval{-1.0, 1.0}}).has_value());
+  // Different network id, domain tag or box: miss.
+  EXPECT_FALSE(cache.find_exact(4, 0, input).has_value());
+  EXPECT_FALSE(cache.find_exact(3, 1, input).has_value());
+  EXPECT_FALSE(cache.find_exact(3, 0, Box{Interval{0.0, 2.0}, Interval{-1.0, 1.0}}).has_value());
+}
+
+TEST(QueryCache, DomainTagsKeepEntriesApart) {
+  // The same (net, box) query under two abstract domains must never share
+  // an entry: replaying an interval-domain result for a symbolic query (or
+  // vice versa) substitutes one transformer's enclosure for another's.
+  NnQueryCache cache;
+  const Box input{Interval{0.0, 1.0}};
+  cache.insert(0, 0, input, make_result({0}, Box{Interval{1.0, 2.0}}));
+  cache.insert(0, 1, input, make_result({1}, Box{Interval{3.0, 4.0}}));
+  const auto d0 = cache.find_exact(0, 0, input);
+  const auto d1 = cache.find_exact(0, 1, input);
+  ASSERT_TRUE(d0.has_value());
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d0->commands, std::vector<std::size_t>{0});
+  EXPECT_EQ(d1->commands, std::vector<std::size_t>{1});
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(QueryCache, NegativeZeroKeysMatchPositiveZero) {
@@ -59,8 +77,8 @@ TEST(QueryCache, NegativeZeroKeysMatchPositiveZero) {
   const Box pos{Interval{0.0, 1.0}};
   const Box neg{Interval{-0.0, 1.0}};
   ASSERT_TRUE(pos == neg);
-  cache.insert(0, pos, make_result({0}, Box{Interval{1.0}}));
-  EXPECT_TRUE(cache.find_exact(0, neg).has_value());
+  cache.insert(0, 0, pos, make_result({0}, Box{Interval{1.0}}));
+  EXPECT_TRUE(cache.find_exact(0, 0, neg).has_value());
 }
 
 TEST(QueryCache, LruEvictionBoundsEntries) {
@@ -68,7 +86,7 @@ TEST(QueryCache, LruEvictionBoundsEntries) {
   config.max_entries = 8;  // one slot per shard
   NnQueryCache cache(config);
   for (int i = 0; i < 100; ++i) {
-    cache.insert(0, Box{Interval{static_cast<double>(i), i + 1.0}},
+    cache.insert(0, 0, Box{Interval{static_cast<double>(i), i + 1.0}},
                  make_result({0}, Box{Interval{0.0}}));
   }
   const auto stats = cache.stats();
@@ -91,19 +109,21 @@ TEST(QueryCache, FindContainingPrefersTightestCoveringBox) {
   const Box wide{Interval{-10.0, 10.0}};
   const Box tight{Interval{-1.0, 1.0}};
   const Box disjoint{Interval{5.0, 6.0}};
-  cache.insert(0, wide, make_result({0}, Box{Interval{0.0}}, bounds_for(wide)));
-  cache.insert(0, tight, make_result({0}, Box{Interval{0.0}}, bounds_for(tight)));
-  cache.insert(0, disjoint, make_result({0}, Box{Interval{0.0}}, bounds_for(disjoint)));
+  cache.insert(0, 0, wide, make_result({0}, Box{Interval{0.0}}, bounds_for(wide)));
+  cache.insert(0, 0, tight, make_result({0}, Box{Interval{0.0}}, bounds_for(tight)));
+  cache.insert(0, 0, disjoint, make_result({0}, Box{Interval{0.0}}, bounds_for(disjoint)));
   // Interval/zonotope entries (no symbolic payload) must never be reused.
-  cache.insert(0, Box{Interval{-20.0, 20.0}}, make_result({0}, Box{Interval{0.0}}));
+  cache.insert(0, 0, Box{Interval{-20.0, 20.0}}, make_result({0}, Box{Interval{0.0}}));
 
-  const auto found = cache.find_containing(0, Box{Interval{-0.5, 0.5}});
+  const auto found = cache.find_containing(0, 0, Box{Interval{-0.5, 0.5}});
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->input, tight);
   // Other network id: nothing to reuse.
-  EXPECT_EQ(cache.find_containing(1, Box{Interval{-0.5, 0.5}}), nullptr);
+  EXPECT_EQ(cache.find_containing(1, 0, Box{Interval{-0.5, 0.5}}), nullptr);
+  // Other domain tag: a covering symbolic entry of domain 0 must not leak.
+  EXPECT_EQ(cache.find_containing(0, 1, Box{Interval{-0.5, 0.5}}), nullptr);
   // Query not covered by any entry: no reuse.
-  EXPECT_EQ(cache.find_containing(0, Box{Interval{9.0, 11.0}}), nullptr);
+  EXPECT_EQ(cache.find_containing(0, 0, Box{Interval{9.0, 11.0}}), nullptr);
 }
 
 TEST(QueryCache, StatsCountHitsMissesAndKinds) {
@@ -137,17 +157,18 @@ TEST(QueryCache, ConcurrentHammerIsConsistent) {
         const auto key = static_cast<double>(rng.uniform_int(0, 99));
         const Box box{Interval{key, key + 1.0}};
         const std::size_t net = static_cast<std::size_t>(rng.uniform_int(0, 4));
+        const auto tag = static_cast<NnQueryCache::DomainTag>(rng.uniform_int(0, 2));
         if (rng.chance(0.5)) {
-          cache.insert(net, box, NnQueryCache::Result{{net}, box, nullptr});
-        } else if (const auto hit = cache.find_exact(net, box)) {
+          // The written payload encodes (net, domain); a hit that crossed
+          // either boundary would fail the assertions below.
+          cache.insert(net, tag, box, NnQueryCache::Result{{net * 4 + tag}, box, nullptr});
+        } else if (const auto hit = cache.find_exact(net, tag, box)) {
           observed_hits.fetch_add(1);
-          // An entry is only ever written with commands == {net}: torn or
-          // mixed-up reads would show here.
-          ASSERT_EQ(hit->commands, std::vector<std::size_t>{net});
+          ASSERT_EQ(hit->commands, std::vector<std::size_t>{net * 4 + tag});
           ASSERT_EQ(hit->output_box, box);
         }
         if (rng.chance(0.01)) {
-          (void)cache.find_containing(net, box);
+          (void)cache.find_containing(net, tag, box);
         }
       }
     });
@@ -248,6 +269,44 @@ TEST(QueryCache, ContainmentReuseIsSoundOnSampledPoints) {
     EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
               reused.commands.end());
   }
+}
+
+TEST(QueryCache, MixedDomainControllersSharingOneCacheStayIsolated) {
+  // Two controllers over the same networks but different abstract domains
+  // share a single cache via adopt_cache. Domain-keyed entries must keep
+  // each controller's replayed results identical to what a cacheless
+  // controller of the same domain computes — a cross-domain hit would
+  // substitute the interval transformer's enclosure for the symbolic one.
+  const auto symbolic = threshold_controller(5.0, -8.0, NnDomain::kSymbolic);
+  const auto interval = threshold_controller(5.0, -8.0, NnDomain::kInterval);
+  auto shared = std::make_shared<NnQueryCache>(NnCacheConfig{NnCacheMode::kMemo});
+  symbolic->adopt_cache(shared);
+  interval->adopt_cache(shared);
+
+  const auto ref_symbolic = threshold_controller(5.0, -8.0, NnDomain::kSymbolic);
+  const auto ref_interval = threshold_controller(5.0, -8.0, NnDomain::kInterval);
+  ref_symbolic->configure_cache(NnCacheConfig{NnCacheMode::kOff});
+  ref_interval->configure_cache(NnCacheConfig{NnCacheMode::kOff});
+
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = rng.uniform(0.0, 8.0);
+    const Box state{Interval{lo, lo + rng.uniform(0.1, 2.0)},
+                    Interval{-1.0, rng.uniform(0.0, 1.0)}};
+    // Interleave so each box is queried under both domains, cold and warm.
+    for (int round = 0; round < 2; ++round) {
+      const AbstractControlStep s = symbolic->step_abstract(state, 0);
+      const AbstractControlStep v = interval->step_abstract(state, 0);
+      const AbstractControlStep rs = ref_symbolic->step_abstract(state, 0);
+      const AbstractControlStep rv = ref_interval->step_abstract(state, 0);
+      ASSERT_EQ(s.commands, rs.commands);
+      ASSERT_TRUE(s.network_output == rs.network_output);
+      ASSERT_EQ(v.commands, rv.commands);
+      ASSERT_TRUE(v.network_output == rv.network_output);
+    }
+  }
+  const auto stats = shared->stats();
+  EXPECT_GT(stats.hits, 0u) << "warm rounds should replay from the shared cache";
 }
 
 TEST(QueryCache, OffModeDisablesCacheEntirely) {

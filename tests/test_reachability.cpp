@@ -258,5 +258,101 @@ INSTANTIATE_TEST_SUITE_P(Domains, ReachabilitySoundness,
                            return info.param == NnDomain::kInterval ? "interval" : "symbolic";
                          });
 
+// ---------------------------------------------------------------------------
+// Loop domain (box vs zonotope): the same soundness law must hold when the
+// relational abstraction is threaded through the loop, and on rotational
+// dynamics the zonotope path must actually be tighter than boxing.
+// ---------------------------------------------------------------------------
+
+/// Harmonic oscillator with its exact linear part declared (zero residual),
+/// so the affine integrator path engages instead of the boxed fallback.
+std::unique_ptr<Dynamics> rotation_plant() {
+  LinearPart lp{{0.0, 1.0, -1.0, 0.0}, {0.0, 0.0}};
+  lp.residual = [](std::span<const Interval>, std::span<Interval> out) {
+    out[0] = Interval{};
+    out[1] = Interval{};
+  };
+  return make_dynamics(2, 1, testing_fixtures::OscField{1.0}, lp);
+}
+
+TEST(ReachabilityLoopDomain, ZonotopeSoundAtSampleInstants) {
+  const auto plant = rotation_plant();
+  const auto ctrl = threshold_controller(-1e9, 0.0);  // always coast (u = 0)
+  const ClosedLoop system{plant.get(), ctrl.get(), 1.0};
+  const BoxRegion error({{0, Interval{-1e9, -1e8}}});  // effectively no error
+  const EmptyRegion target;
+  const Box cell{Interval{0.9, 1.1}, Interval{-0.1, 0.1}};
+  const int q = 6;
+  ReachConfig config = base_config(q);
+  config.domain = LoopDomain::kZonotope;
+  const auto result =
+      reach_analyze(system, SymbolicSet{{cell, 0}}, error, target, config);
+  ASSERT_EQ(result.outcome, ReachOutcome::kHorizonExhausted);
+  ASSERT_EQ(result.sampled_sets.size(), static_cast<std::size_t>(q) + 1);
+
+  Rng rng(113);
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec s{rng.uniform(cell[0].lo(), cell[0].hi()), rng.uniform(cell[1].lo(), cell[1].hi())};
+    std::size_t cmd = 0;
+    for (int j = 0; j <= q; ++j) {
+      bool covered = false;
+      for (const auto& sym : result.sampled_sets[j]) {
+        if (sym.command == cmd && sym.box.contains(s)) {
+          // A carried relational refinement must agree with its own box.
+          if (sym.relational != nullptr) {
+            EXPECT_TRUE(sym.box.contains(sym.relational->concretize()));
+          }
+          covered = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(covered) << "trajectory escaped R_" << j;
+      if (j == q) {
+        break;
+      }
+      const std::size_t next_cmd = ctrl->step(s, cmd);
+      s = rk4_integrate(*plant, s, ctrl->commands()[cmd], 1.0, 64);
+      cmd = next_cmd;
+    }
+  }
+}
+
+TEST(ReachabilityLoopDomain, ZonotopeTighterThanBoxOnRotation) {
+  const auto plant = rotation_plant();
+  const auto ctrl = threshold_controller(-1e9, 0.0);
+  const ClosedLoop system{plant.get(), ctrl.get(), 1.0};
+  const BoxRegion error({{0, Interval{-1e9, -1e8}}});
+  const EmptyRegion target;
+  const Box cell{Interval{0.9, 1.1}, Interval{-0.1, 0.1}};
+  const int q = 6;
+
+  ReachConfig box_config = base_config(q);
+  box_config.domain = LoopDomain::kBox;
+  ReachConfig zono_config = base_config(q);
+  zono_config.domain = LoopDomain::kZonotope;
+  const auto boxed = reach_analyze(system, SymbolicSet{{cell, 0}}, error, target, box_config);
+  const auto zono = reach_analyze(system, SymbolicSet{{cell, 0}}, error, target, zono_config);
+  ASSERT_EQ(boxed.outcome, ReachOutcome::kHorizonExhausted);
+  ASSERT_EQ(zono.outcome, ReachOutcome::kHorizonExhausted);
+
+  // Compare the final sampled sets' hulls: the oscillator only rotates, so
+  // the zonotope stays at the initial widths (~0.2) while the boxed loop
+  // wraps at every sub-step and blows up by a large factor over 6 periods.
+  const auto hull_width = [](const SymbolicSet& set, std::size_t dim) {
+    Interval hull = set.front().box[dim];
+    for (const auto& sym : set) {
+      hull = nncs::hull(hull, sym.box[dim]);
+    }
+    return hull.width();
+  };
+  for (std::size_t dim = 0; dim < 2; ++dim) {
+    const double bw = hull_width(boxed.sampled_sets.back(), dim);
+    const double zw = hull_width(zono.sampled_sets.back(), dim);
+    EXPECT_LT(zw, 0.3) << "dim " << dim;
+    EXPECT_GT(bw, 2.0 * zw) << "dim " << dim;
+  }
+}
+
+
 }  // namespace
 }  // namespace nncs

@@ -30,7 +30,7 @@ VerifyReport sample_report() {
   a.stats.phases.controller_seconds = 0.125;
   a.stats.phases.join_seconds = 0.0625;
   a.stats.phases.check_seconds = 0.03125;
-  a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3};
+  a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3, nullptr};
   CellOutcome b;
   b.root_index = 2;
   b.depth = 1;

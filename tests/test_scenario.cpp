@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -25,9 +26,10 @@ namespace {
 
 TEST(ScenarioRegistry, GlobalHasBuiltins) {
   const Registry& registry = Registry::global();
-  EXPECT_GE(registry.size(), 3u);
+  EXPECT_GE(registry.size(), 4u);
   EXPECT_NE(registry.find("acasxu"), nullptr);
   EXPECT_NE(registry.find("cruise_control"), nullptr);
+  EXPECT_NE(registry.find("pendulum"), nullptr);
   EXPECT_NE(registry.find("unicycle"), nullptr);
 }
 
@@ -213,7 +215,8 @@ TEST(ScenarioProvenance, SetScenarioFlowsIntoProvenance) {
 /// Run the scenario's own SmokeSpec through the plain Verifier, reading the
 /// trained networks from the repo's checked-in caches (tests run from the
 /// build tree, where the scenarios' relative default paths don't resolve).
-VerifyReport run_smoke(const Scenario& scen) {
+VerifyReport run_smoke(const Scenario& scen,
+                       std::optional<LoopDomain> domain_override = std::nullopt) {
   SystemConfig sys_config;
   sys_config.nets_dir =
       std::filesystem::path(NNCS_SOURCE_DIR) / (scen.name() + "_nets_cache");
@@ -231,6 +234,9 @@ VerifyReport run_smoke(const Scenario& scen) {
   }
   if (spec.max_refinement_depth >= 0) {
     config.max_refinement_depth = spec.max_refinement_depth;
+  }
+  if (domain_override) {
+    config.reach.domain = *domain_override;
   }
   config.threads = 4;
 
@@ -269,6 +275,31 @@ TEST(ScenarioSmoke, Acasxu) { expect_smoke_holds(Registry::global().at("acasxu")
 
 TEST(ScenarioSmoke, CruiseControl) {
   expect_smoke_holds(Registry::global().at("cruise_control"));
+}
+
+TEST(ScenarioSmoke, Pendulum) { expect_smoke_holds(Registry::global().at("pendulum")); }
+
+// The pendulum exists to showcase the zonotope loop domain: the smoke spec
+// above expects kAllProved under the default (zonotope) domain, while under
+// the very same partition, depth, and gamma budget, the box domain wraps the
+// rotating flow at every controller hand-off — it can still prove the inner
+// cells (small boxes wrap little), but the outer band stays error-reachable
+// at any refinement depth. If box ever fully verifies, the scenario has lost
+// its discriminating power; if it reports no errors, the domains are likely
+// not being threaded through the loop.
+TEST(ScenarioSmoke, PendulumBoxDomainCannotVerify) {
+  const Scenario& scen = Registry::global().at("pendulum");
+  ASSERT_EQ(scen.default_config().reach.domain, LoopDomain::kZonotope);
+  const VerifyReport report = run_smoke(scen, LoopDomain::kBox);
+  ASSERT_FALSE(report.leaves.empty());
+  std::size_t proved = 0;
+  std::size_t errors = 0;
+  for (const auto& leaf : report.leaves) {
+    proved += leaf.outcome == ReachOutcome::kProvedSafe ? 1 : 0;
+    errors += leaf.outcome == ReachOutcome::kErrorReachable ? 1 : 0;
+  }
+  EXPECT_LT(proved, report.leaves.size());
+  EXPECT_GT(errors, 0u);
 }
 
 TEST(ScenarioSmoke, Unicycle) { expect_smoke_holds(Registry::global().at("unicycle")); }

@@ -10,7 +10,7 @@ namespace nncs {
 namespace {
 
 SymbolicState state(double lo0, double hi0, double lo1, double hi1, std::size_t cmd) {
-  return SymbolicState{Box{Interval{lo0, hi0}, Interval{lo1, hi1}}, cmd};
+  return SymbolicState{Box{Interval{lo0, hi0}, Interval{lo1, hi1}}, cmd, nullptr};
 }
 
 TEST(SymbolicState, DistanceIsBetweenCenters) {

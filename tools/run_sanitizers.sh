@@ -25,10 +25,11 @@ case "$mode" in
   tsan)
     build=build-tsan
     sanitize="thread"
-    # Concurrency-relevant suites (the scenario smoke runs drive the
-    # threaded verifier; the artifact/profile suites snapshot the sharded
-    # registry and heartbeat sink); pass your own -R/-E to override.
-    default_filter=(-R "QueryCache|Engine|Obs|Scenario|Artifact|Profile|BenchCompare")
+    # Concurrency-relevant suites (the scenario and domain smoke runs drive
+    # the threaded verifier — the latter over the zonotope loop path; the
+    # artifact/profile suites snapshot the sharded registry and heartbeat
+    # sink); pass your own -R/-E to override.
+    default_filter=(-R "QueryCache|Engine|Obs|Scenario|Artifact|Profile|BenchCompare|Domain")
     ;;
   *)
     echo "usage: $0 [asan|tsan] [extra ctest args...]" >&2

@@ -1,0 +1,83 @@
+# End-to-end smoke for the loop-domain knob (`--domain box|zonotope`), run
+# as a ctest `cmake -P` script (see tools/CMakeLists.txt):
+#
+#   1. the default acasxu run and an explicit `--domain box` run produce
+#      byte-identical canonical reports (box is the default and the
+#      refactor must not perturb the original pipeline)
+#   2. a pendulum run under the zonotope domain completes with every leaf
+#      proved-safe (no error-reachable rows)
+#   3. the same pendulum workload under `--domain box` wraps the rotating
+#      flow and reports error-reachable leaves — the domains are really
+#      being threaded through the loop
+#   4. a checkpoint taken under the zonotope domain refuses to resume under
+#      box (exit 4): the run fingerprint carries the domain
+#
+# Required -D variables: VERIFY (binary), ACAS_NETS and PEND_NETS (network
+# cache dirs), OUT (scratch directory).
+
+foreach(var VERIFY ACAS_NETS PEND_NETS OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "smoke_cli_domain: pass -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT})
+
+function(run_cli expected_code log)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  if(NOT code EQUAL expected_code)
+    message(FATAL_ERROR "${log}: expected exit ${expected_code}, got ${code}\n"
+                        "stdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(last_stdout "${stdout}" PARENT_SCOPE)
+  message(STATUS "${log}: exit ${code} (as expected)")
+endfunction()
+
+# 1. `--domain box` is the default: canonical acasxu reports byte-identical.
+set(ACAS_FLAGS --scenario acasxu --arcs 4 --headings 4 --depth 0 --steps 10
+    --m 4 --order 3 --nets ${ACAS_NETS} --threads 4 --quiet --canonical-report)
+run_cli(0 "acasxu default domain" ${VERIFY} ${ACAS_FLAGS}
+  --report ${OUT}/acas_default.csv)
+run_cli(0 "acasxu explicit --domain box" ${VERIFY} ${ACAS_FLAGS} --domain box
+  --report ${OUT}/acas_box.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${OUT}/acas_default.csv ${OUT}/acas_box.csv RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "canonical acasxu report differs between the default and --domain box")
+endif()
+message(STATUS "default and --domain box canonical reports byte-identical")
+
+# 2./3. The pendulum discriminates the domains on the same partition and
+#       budget: zonotope proves every leaf, box reports error-reachable ones.
+set(PEND_FLAGS --scenario pendulum --nets ${PEND_NETS} --threads 4 --quiet
+    --canonical-report)
+run_cli(0 "pendulum --domain zonotope" ${VERIFY} ${PEND_FLAGS} --domain zonotope
+  --report ${OUT}/pendulum_zonotope.csv)
+file(READ ${OUT}/pendulum_zonotope.csv zonotope_report)
+if(zonotope_report MATCHES "error-reachable")
+  message(FATAL_ERROR "zonotope pendulum run has error-reachable leaves:\n${zonotope_report}")
+endif()
+if(NOT zonotope_report MATCHES "proved-safe")
+  message(FATAL_ERROR "zonotope pendulum run proved nothing:\n${zonotope_report}")
+endif()
+run_cli(0 "pendulum --domain box" ${VERIFY} ${PEND_FLAGS} --domain box
+  --report ${OUT}/pendulum_box.csv)
+file(READ ${OUT}/pendulum_box.csv box_report)
+if(NOT box_report MATCHES "error-reachable")
+  message(FATAL_ERROR "box pendulum run shows no error-reachable leaves — the\n"
+                      "loop domain is not being threaded through:\n${box_report}")
+endif()
+message(STATUS "pendulum verifies under zonotope and fails under box")
+
+# 4. The run fingerprint carries the loop domain, so a zonotope checkpoint
+#    must not resume under box. The microscopic budget interrupts the run
+#    immediately (exit 3).
+run_cli(3 "budget-interrupted zonotope run" ${VERIFY} ${PEND_FLAGS} --domain zonotope
+  --time-budget 0.000001 --checkpoint ${OUT}/pendulum_checkpoint.csv)
+if(NOT EXISTS ${OUT}/pendulum_checkpoint.csv)
+  message(FATAL_ERROR "interrupted pendulum run left no checkpoint file")
+endif()
+run_cli(4 "cross-domain resume refused" ${VERIFY} ${PEND_FLAGS} --domain box
+  --resume ${OUT}/pendulum_checkpoint.csv)
+message(STATUS "cross-domain resume refused with exit code 4")

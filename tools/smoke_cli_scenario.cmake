@@ -1,7 +1,7 @@
 # End-to-end smoke for the generic scenario driver, run as a ctest
 # `cmake -P` script (see tools/CMakeLists.txt):
 #
-#   1. --list-scenarios names all three built-in scenarios
+#   1. --list-scenarios names all built-in scenarios
 #   2. a shallow cruise_control run exits 0
 #   3. the acasxu canonical report from nncs_verify is byte-identical to
 #      the one from the nncs_acasxu_cli compatibility wrapper
@@ -32,7 +32,7 @@ endfunction()
 
 # 1. Every built-in scenario is listed.
 run_cli(0 "--list-scenarios" ${VERIFY} --list-scenarios)
-foreach(name acasxu cruise_control unicycle)
+foreach(name acasxu cruise_control pendulum unicycle)
   if(NOT last_stdout MATCHES "${name}")
     message(FATAL_ERROR "--list-scenarios output is missing '${name}':\n${last_stdout}")
   endif()

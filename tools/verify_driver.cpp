@@ -43,7 +43,8 @@ void handle_sigint(int) {
 [[noreturn]] void usage(const char* argv0, const DriverOptions& options) {
   std::fprintf(stderr,
                "usage: %s%s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
-               "          [--m N] [--order N] [--domain interval|symbolic|affine]\n"
+               "          [--m N] [--order N]\n"
+               "          [--domain interval|symbolic|affine|box|zonotope]\n"
                "          [--nn-cache off|memo|containment]\n"
                "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
                "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
@@ -265,6 +266,11 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
         system_config.domain = NnDomain::kSymbolic;
       } else if (v == "affine") {
         system_config.domain = NnDomain::kAffine;
+      } else if (const auto loop = parse_loop_domain(v)) {
+        // box|zonotope select the *loop* domain (what flows between the
+        // integrator and the controller); the NN-transformer values above
+        // only matter for the boxed loop.
+        config.reach.domain = *loop;
       } else {
         usage(argv[0], options);
       }
@@ -320,7 +326,13 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   }
 
   partition = scenario::resolve(*scen, partition);
-  const std::string run_fingerprint = scenario::fingerprint(*scen, partition);
+  // The zonotope loop produces different frontiers/leaves than the boxed
+  // one, so its checkpoints must not resume into (or from) a box run. Box
+  // runs keep the unsuffixed fingerprint — existing checkpoints stay valid.
+  std::string run_fingerprint = scenario::fingerprint(*scen, partition);
+  if (config.reach.domain == LoopDomain::kZonotope) {
+    run_fingerprint += ";domain=zonotope";
+  }
   obs::set_scenario(scen->name(), run_fingerprint);
 
   // --artifact-dir collects every output of the run in one place: relative
@@ -413,10 +425,10 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   if (!options.forced_scenario) {
     std::printf("scenario %s: %s\n", scen->name().c_str(), scen->description().c_str());
   }
-  std::printf("%s: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d\n",
+  std::printf("%s: %zux%zu cells, depth %d, gamma %zu, q=%d, M=%d, order %d, domain %s\n",
               options.program, partition.axis0, partition.axis1,
               config.max_refinement_depth, config.reach.gamma, config.reach.control_steps,
-              config.reach.integration_steps, taylor_order);
+              config.reach.integration_steps, taylor_order, to_string(config.reach.domain));
   if (!resume_path.empty()) {
     std::printf("resuming from %s: %zu leaves done, %zu cells pending\n", resume_path.c_str(),
                 resume_checkpoint.leaves.size(), resume_checkpoint.frontier.size());
