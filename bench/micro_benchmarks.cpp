@@ -92,6 +92,60 @@ void BM_NetworkSymbolicProp(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSymbolicProp);
 
+// Batched SoA sweeps (nn/kernels.hpp) over `range(0)` slightly-perturbed
+// cells; per-query cost = time / batch. Compare against the scalar benches
+// above to see the amortization (allocation reuse + SIMD lanes).
+std::vector<Box> perturbed_cells(std::size_t count) {
+  std::vector<Box> cells;
+  cells.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double shift = 1e-3 * static_cast<double>(k);
+    cells.emplace_back(5, Interval{-0.05 + shift, 0.05 + shift});
+  }
+  return cells;
+}
+
+void BM_NetworkIntervalPropBatch(benchmark::State& state) {
+  const auto& net = acas_system().controller->networks().front();
+  const auto cells = perturbed_cells(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto boxes = interval_propagate_batch(net, cells);
+    benchmark::DoNotOptimize(boxes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkIntervalPropBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_NetworkSymbolicPropBatch(benchmark::State& state) {
+  const auto& net = acas_system().controller->networks().front();
+  const auto cells = perturbed_cells(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bounds = symbolic_propagate_batch(net, cells);
+    benchmark::DoNotOptimize(bounds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkSymbolicPropBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AbstractControllerStepBatch(benchmark::State& state) {
+  auto& system = acas_system();
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<Box> cells;
+  std::vector<std::size_t> prev;
+  for (std::size_t k = 0; k < count; ++k) {
+    cells.push_back(acas_cell());
+    const double shift = 1.0 + static_cast<double>(k);
+    cells.back()[0] = Interval{cells.back()[0].lo() + shift, cells.back()[0].hi() + shift};
+    prev.push_back(ax::kCoc);
+  }
+  for (auto _ : state) {
+    auto steps = system.controller->step_abstract_batch(cells, prev);
+    benchmark::DoNotOptimize(steps);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AbstractControllerStepBatch)->Arg(1)->Arg(8);
+
 void BM_AbstractControllerStep(benchmark::State& state) {
   auto& system = acas_system();
   for (auto _ : state) {

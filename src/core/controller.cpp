@@ -29,6 +29,19 @@ AffineSet Preprocessor::eval_abstract(const AffineSet& state) const {
   return AffineSet::from_box(eval_abstract(state.concretize()));
 }
 
+std::vector<AbstractControlStep> Controller::step_abstract_batch(
+    const std::vector<Box>& states, const std::vector<std::size_t>& previous_commands) const {
+  if (states.size() != previous_commands.size()) {
+    throw std::invalid_argument("Controller::step_abstract_batch: states/commands size mismatch");
+  }
+  std::vector<AbstractControlStep> results;
+  results.reserve(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    results.push_back(step_abstract(states[i], previous_commands[i]));
+  }
+  return results;
+}
+
 std::size_t ArgminPost::eval(const Vec& network_output) const {
   return concrete_argmin(network_output);
 }
@@ -200,6 +213,131 @@ AbstractControlStep NeuralController::step_abstract(const Box& state,
     }
   }
   return result;
+}
+
+std::vector<AbstractControlStep> NeuralController::step_abstract_batch(
+    const std::vector<Box>& states, const std::vector<std::size_t>& previous_commands) const {
+  if (states.size() != previous_commands.size()) {
+    throw std::invalid_argument(
+        "NeuralController::step_abstract_batch: states/commands size mismatch");
+  }
+  if (domain_ == NnDomain::kAffine ||
+      (cache_ && cache_->mode() == NnCacheMode::kContainment)) {
+    return Controller::step_abstract_batch(states, previous_commands);
+  }
+  const std::size_t n = states.size();
+  std::vector<AbstractControlStep> results(n);
+  // Phase 1: Pre# and the cache consult, per state in scalar order.
+  std::vector<std::size_t> miss_index;
+  std::vector<std::size_t> miss_net;
+  miss_index.reserve(n);
+  miss_net.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (previous_commands[i] >= commands_.size()) {
+      throw std::out_of_range("NeuralController::step_abstract_batch: bad previous command index");
+    }
+    const std::size_t net_id = selector_[previous_commands[i]];
+    results[i].network_input = pre_->eval_abstract(states[i]);
+    if (cache_ && step_from_cache(net_id, results[i])) {
+      continue;
+    }
+    miss_index.push_back(i);
+    miss_net.push_back(net_id);
+  }
+  // Phase 2: per selected network (first-appearance order), deduplicate
+  // identical input boxes — the scalar loop would have turned the repeats
+  // into memo hits replaying the first propagation — and run one batched
+  // sweep over the unique misses.
+  std::vector<bool> handled(miss_index.size(), false);
+  for (std::size_t m0 = 0; m0 < miss_index.size(); ++m0) {
+    if (handled[m0]) {
+      continue;
+    }
+    const std::size_t net_id = miss_net[m0];
+    std::vector<std::size_t> unique_miss;             // positions into miss_index
+    std::vector<std::vector<std::size_t>> duplicates;  // extra positions per unique
+    for (std::size_t m = m0; m < miss_index.size(); ++m) {
+      if (handled[m] || miss_net[m] != net_id) {
+        continue;
+      }
+      handled[m] = true;
+      const Box& box = results[miss_index[m]].network_input;
+      bool duplicate = false;
+      for (std::size_t u = 0; u < unique_miss.size(); ++u) {
+        if (results[miss_index[unique_miss[u]]].network_input == box) {
+          duplicates[u].push_back(m);
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        unique_miss.push_back(m);
+        duplicates.emplace_back();
+      }
+    }
+    std::vector<Box> inputs;
+    inputs.reserve(unique_miss.size());
+    for (const std::size_t u : unique_miss) {
+      inputs.push_back(results[miss_index[u]].network_input);
+    }
+    const Network& net = networks_[net_id];
+    const auto domain_tag = static_cast<NnQueryCache::DomainTag>(domain_);
+    if (domain_ == NnDomain::kSymbolic) {
+      std::vector<SymbolicBounds> all = symbolic_propagate_batch(net, inputs);
+      for (std::size_t u = 0; u < unique_miss.size(); ++u) {
+        auto bounds = std::make_shared<SymbolicBounds>(std::move(all[u]));
+        AbstractControlStep& result = results[miss_index[unique_miss[u]]];
+        result.network_output = bounds->output_box;
+        {
+          NNCS_SPAN("nn.argmin");
+          result.commands = post_->eval_abstract(*bounds);
+        }
+        for (const std::size_t d : duplicates[u]) {
+          AbstractControlStep& dup = results[miss_index[d]];
+          dup.commands = result.commands;
+          dup.network_output = result.network_output;
+        }
+        if (cache_) {
+          cache_->insert(net_id, domain_tag, result.network_input,
+                         NnQueryCache::Result{result.commands, result.network_output,
+                                              std::move(bounds)});
+        }
+      }
+    } else {
+      std::vector<Box> outputs = interval_propagate_batch(net, inputs);
+      for (std::size_t u = 0; u < unique_miss.size(); ++u) {
+        AbstractControlStep& result = results[miss_index[unique_miss[u]]];
+        result.network_output = std::move(outputs[u]);
+        {
+          NNCS_SPAN("nn.argmin");
+          result.commands = post_->eval_abstract(result.network_output);
+        }
+        for (const std::size_t d : duplicates[u]) {
+          AbstractControlStep& dup = results[miss_index[d]];
+          dup.commands = result.commands;
+          dup.network_output = result.network_output;
+        }
+        if (cache_) {
+          cache_->insert(net_id, domain_tag, result.network_input,
+                         NnQueryCache::Result{result.commands, result.network_output, nullptr});
+        }
+      }
+    }
+  }
+  for (const AbstractControlStep& result : results) {
+    if (result.commands.empty()) {
+      throw std::logic_error(
+          "NeuralController::step_abstract_batch: Post# returned no commands (unsound "
+          "abstract post-processor)");
+    }
+    for (const std::size_t c : result.commands) {
+      if (c >= commands_.size()) {
+        throw std::logic_error(
+            "NeuralController::step_abstract_batch: Post# returned out-of-range command");
+      }
+    }
+  }
+  return results;
 }
 
 AbstractControlStep NeuralController::step_abstract_relational(

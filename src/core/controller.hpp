@@ -134,6 +134,12 @@ class Controller {
       const AffineSet& state, std::size_t previous_command) const {
     return step_abstract(state.concretize(), previous_command);
   }
+  /// Batched abstract control step: element i of the result must equal
+  /// `step_abstract(states[i], previous_commands[i])`. The default loops the
+  /// scalar step; `NeuralController` overrides it to send sibling cells
+  /// through one SoA kernel sweep per network (`nn/kernels.hpp`).
+  [[nodiscard]] virtual std::vector<AbstractControlStep> step_abstract_batch(
+      const std::vector<Box>& states, const std::vector<std::size_t>& previous_commands) const;
 };
 
 /// The generic neural network based controller N of §4.3 (Fig 2/5):
@@ -187,6 +193,20 @@ class NeuralController final : public Controller {
   /// zonotopes with the same hull, so replaying one would be unsound.
   [[nodiscard]] AbstractControlStep step_abstract_relational(
       const AffineSet& state, std::size_t previous_command) const override;
+
+  /// Batched abstract step: Pre# and the cache consult run per state in
+  /// scalar order; remaining misses are grouped by selected network,
+  /// deduplicated under the cache key's equality and propagated through one
+  /// batched SoA sweep per network. Bit-identical to looping `step_abstract`
+  /// — the batched transformers replicate the scalar rounding sequence per
+  /// lane, and a within-batch duplicate replays the first propagation just
+  /// as the memo hit it would have been in the scalar loop (only the
+  /// informational hit/miss counters can differ). Containment-mode caching
+  /// and the affine domain fall back to the scalar loop: the former's reuse
+  /// is query-order-dependent, the latter has no batched transformer.
+  [[nodiscard]] std::vector<AbstractControlStep> step_abstract_batch(
+      const std::vector<Box>& states,
+      const std::vector<std::size_t>& previous_commands) const override;
 
  private:
   /// Cache consult: fills commands/network_output on a hit (exact match, or

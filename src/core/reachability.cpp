@@ -1,5 +1,6 @@
 #include "core/reachability.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -132,6 +133,100 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
 
     SymbolicSet next;
     std::vector<Flowpipe> step_pipes;
+
+    // Batched box-domain step: the per-state loop below interleaves
+    // simulation and controller work; here the same operations run in three
+    // ordered sweeps so sibling cells reach the controller together and the
+    // NN transformer amortizes one SoA kernel sweep over the batch. Every
+    // per-state check, counter and early return fires at the same point in
+    // state order as in the scalar loop, and the batched controller step is
+    // bit-identical to scalar stepping, so results cannot differ.
+    if (config.domain == LoopDomain::kBox && config.nn_batch > 1) {
+      // Sweep 1: discrete-instant check + validated simulation per state.
+      std::vector<Flowpipe> pipes;
+      pipes.reserve(active.size());
+      for (const auto& state : active) {
+        phase_watch.reset();
+        if (!config.check_intermediate &&
+            error.possibly_intersects(state.box, state.command)) {
+          phases.check_seconds += phase_watch.lap();
+          result.outcome = ReachOutcome::kErrorReachable;
+          result.offending = state;
+          result.offending_step = j;
+          result.stats.steps_executed = j;
+          result.stats.seconds = watch.seconds();
+          return result;
+        }
+        phases.check_seconds += phase_watch.lap();
+        Flowpipe pipe = simulate(*system.plant, *config.integrator, state.box,
+                                 commands[state.command], system.period,
+                                 config.integration_steps);
+        phases.simulate_seconds += phase_watch.lap();
+        ++result.stats.total_simulations;
+        if (!pipe.ok) {
+          result.outcome = ReachOutcome::kEnclosureFailure;
+          result.offending = state;
+          result.offending_step = j;
+          result.stats.steps_executed = j;
+          result.stats.seconds = watch.seconds();
+          return result;
+        }
+        if (config.check_intermediate) {
+          for (const Box& segment : pipe.segments) {
+            if (error.possibly_intersects(segment, state.command)) {
+              phases.check_seconds += phase_watch.lap();
+              result.outcome = ReachOutcome::kErrorReachable;
+              result.offending = SymbolicState{segment, state.command, nullptr};
+              result.offending_step = j;
+              result.stats.steps_executed = j;
+              result.stats.seconds = watch.seconds();
+              return result;
+            }
+          }
+        }
+        phases.check_seconds += phase_watch.lap();
+        pipes.push_back(std::move(pipe));
+      }
+
+      // Sweep 2: abstract controller steps, chunked to nn_batch.
+      phase_watch.reset();
+      std::vector<AbstractControlStep> ctrl_steps;
+      ctrl_steps.reserve(active.size());
+      std::vector<Box> batch_states;
+      std::vector<std::size_t> batch_commands;
+      for (std::size_t begin = 0; begin < active.size(); begin += config.nn_batch) {
+        const std::size_t end = std::min(active.size(), begin + config.nn_batch);
+        batch_states.clear();
+        batch_commands.clear();
+        for (std::size_t k = begin; k < end; ++k) {
+          batch_states.push_back(active[k].box);
+          batch_commands.push_back(active[k].command);
+        }
+        std::vector<AbstractControlStep> chunk =
+            system.controller->step_abstract_batch(batch_states, batch_commands);
+        for (auto& step : chunk) {
+          ctrl_steps.push_back(std::move(step));
+        }
+      }
+      phases.controller_seconds += phase_watch.lap();
+
+      // Sweep 3: successor states and flowpipe recording, in state order.
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        for (const std::size_t cmd : ctrl_steps[k].commands) {
+          next.push_back(SymbolicState{pipes[k].end, cmd, nullptr});
+        }
+        if (config.record_flowpipes) {
+          step_pipes.push_back(std::move(pipes[k]));
+        }
+      }
+      if (config.record_flowpipes) {
+        result.flowpipes.push_back(std::move(step_pipes));
+      }
+      result.stats.steps_executed = j + 1;
+      current = std::move(next);
+      continue;
+    }
+
     for (const auto& state : active) {
       // Unsound discrete-instant baseline: check E only at t = jT.
       phase_watch.reset();

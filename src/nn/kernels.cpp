@@ -1,0 +1,206 @@
+#include "nn/kernels.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "interval/interval.hpp"
+
+#define NNCS_KERN_BACKEND portable
+#include "nn/kernels_impl.inl"
+#undef NNCS_KERN_BACKEND
+
+namespace nncs::kern {
+
+#ifdef NNCS_HAVE_AVX2
+// Defined in kernels_avx2.cpp (compiled with -mavx2 -mfma -ffp-contract=off).
+namespace avx2 {
+void interval_affine_layer_impl(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
+                                bool relu);
+void symbolic_affine_layer_impl(const Layer& layer, const SymbolicBatch& in,
+                                SymbolicBatch& out);
+}  // namespace avx2
+#endif
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return "portable";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool cpu_supports_avx2() {
+#if defined(NNCS_HAVE_AVX2) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa resolve_isa(const char* env_value, bool cpu_avx2) {
+  if (env_value != nullptr) {
+    const std::string v(env_value);
+    if (v == "portable" || v == "off" || v == "scalar") {
+      return Isa::kPortable;
+    }
+    if (v == "avx2") {
+      return cpu_avx2 ? Isa::kAvx2 : Isa::kPortable;
+    }
+    // "auto", empty and unknown values all fall through to detection.
+  }
+  return cpu_avx2 ? Isa::kAvx2 : Isa::kPortable;
+}
+
+Isa active_isa() {
+  static const Isa isa = resolve_isa(std::getenv("NNCS_NN_SIMD"), cpu_supports_avx2());
+  return isa;
+}
+
+double next_up(double x) {
+  // Exact clone of std::nextafter(x, +inf) for non-NaN x: step the
+  // sign-magnitude integer representation by one, with ±0 landing on the
+  // smallest positive subnormal and +inf staying put.
+  if (x == 0.0) {
+    return std::bit_cast<double>(std::uint64_t{1});
+  }
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  if (bits == 0x7ff0000000000000ULL) {  // +inf
+    return x;
+  }
+  const std::uint64_t stepped = (bits >> 63) == 0 ? bits + 1 : bits - 1;
+  return std::bit_cast<double>(stepped);
+}
+
+double next_down(double x) {
+  if (x == 0.0) {
+    return std::bit_cast<double>(std::uint64_t{0x8000000000000001ULL});
+  }
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  if (bits == 0xfff0000000000000ULL) {  // -inf
+    return x;
+  }
+  const std::uint64_t stepped = (bits >> 63) == 0 ? bits - 1 : bits + 1;
+  return std::bit_cast<double>(stepped);
+}
+
+void IntervalBatch::resize(std::size_t new_width, std::size_t new_lanes) {
+  width = new_width;
+  lanes = new_lanes;
+  lo.resize(width * lanes);
+  hi.resize(width * lanes);
+}
+
+void IntervalBatch::load(const std::vector<Box>& boxes) {
+  if (boxes.empty()) {
+    throw std::invalid_argument("IntervalBatch::load: empty batch");
+  }
+  resize(boxes.front().dim(), boxes.size());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (boxes[l].dim() != width) {
+      throw std::invalid_argument("IntervalBatch::load: inconsistent box dimensions");
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      lo[i * lanes + l] = boxes[l][i].lo();
+      hi[i * lanes + l] = boxes[l][i].hi();
+    }
+  }
+}
+
+Box IntervalBatch::extract(std::size_t l) const {
+  std::vector<Interval> dims;
+  dims.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    // make_unchecked: the scalar propagator builds its intervals through
+    // the same unchecked path, and re-validating here could reject bounds
+    // the scalar pipeline accepts.
+    dims.push_back(make_unchecked(lo[i * lanes + l], hi[i * lanes + l]));
+  }
+  return Box{std::move(dims)};
+}
+
+void AffineBatch::resize(std::size_t new_width, std::size_t new_n_in, std::size_t new_lanes) {
+  width = new_width;
+  n_in = new_n_in;
+  lanes = new_lanes;
+  coeffs.resize(width * n_in * lanes);
+  constant.resize(width * lanes);
+  err.resize(width * lanes);
+}
+
+void SymbolicBatch::resize(std::size_t width, std::size_t n_in, std::size_t lanes) {
+  lower.resize(width, n_in, lanes);
+  upper.resize(width, n_in, lanes);
+}
+
+void interval_affine_layer(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
+                           bool relu, Isa isa) {
+  out.resize(layer.weights.rows(), in.lanes);
+#ifdef NNCS_HAVE_AVX2
+  if (isa == Isa::kAvx2) {
+    avx2::interval_affine_layer_impl(layer, in, out, relu);
+    return;
+  }
+#else
+  (void)isa;
+#endif
+  portable::interval_affine_layer_impl(layer, in, out, relu);
+}
+
+void symbolic_affine_layer(const Layer& layer, const SymbolicBatch& in, SymbolicBatch& out,
+                           Isa isa) {
+  out.resize(layer.weights.rows(), in.lower.n_in, in.lower.lanes);
+#ifdef NNCS_HAVE_AVX2
+  if (isa == Isa::kAvx2) {
+    avx2::symbolic_affine_layer_impl(layer, in, out);
+    return;
+  }
+#else
+  (void)isa;
+#endif
+  portable::symbolic_affine_layer_impl(layer, in, out);
+}
+
+void dense_affine(const Matrix& weights, const Vec& biases, const double* x, double* out) {
+  const std::size_t rows = weights.rows();
+  const std::size_t cols = weights.cols();
+  std::size_t r = 0;
+  // Four rows per block share the streamed x loads; each row's accumulator
+  // runs left to right exactly like the naive loop, so results are
+  // bit-identical to it.
+  for (; r + 4 <= rows; r += 4) {
+    const double* w0 = weights.row_data(r);
+    const double* w1 = weights.row_data(r + 1);
+    const double* w2 = weights.row_data(r + 2);
+    const double* w3 = weights.row_data(r + 3);
+    double a0 = biases[r];
+    double a1 = biases[r + 1];
+    double a2 = biases[r + 2];
+    double a3 = biases[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      a0 += w0[c] * xc;
+      a1 += w1[c] * xc;
+      a2 += w2[c] * xc;
+      a3 += w3[c] * xc;
+    }
+    out[r] = a0;
+    out[r + 1] = a1;
+    out[r + 2] = a2;
+    out[r + 3] = a3;
+  }
+  for (; r < rows; ++r) {
+    const double* wr = weights.row_data(r);
+    double acc = biases[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc += wr[c] * x[c];
+    }
+    out[r] = acc;
+  }
+}
+
+}  // namespace nncs::kern

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "interval/box.hpp"
+#include "nn/network.hpp"
+
+/// Batched, vectorization-friendly layer kernels for the NN abstract
+/// transformers (ROADMAP item "SIMD + batched propagation on the NN hot
+/// path").
+///
+/// The design constraint that shapes everything here is *bit-exactness*:
+/// canonical reports are byte-compared against the scalar propagators, so a
+/// batched sweep may reorganize memory and process several cells at once,
+/// but per cell it must execute the exact double-precision operation
+/// sequence of `interval_propagate` / `symbolic_propagate`. We therefore
+/// vectorize *across* cells (SIMD lane = cell) instead of across neurons:
+/// each lane performs the scalar algorithm's operations in the scalar
+/// algorithm's order, so any vector width — including the AVX2 path —
+/// produces bitwise-identical results.
+///
+/// Layout: structure-of-arrays over the batch. For `lanes` cells propagated
+/// together, a per-neuron quantity is stored as `lanes` consecutive doubles
+/// (lane-minor), so the innermost loop of every kernel walks contiguous
+/// memory with a uniform (weight-derived) scalar operand.
+namespace nncs::kern {
+
+/// Hard cap on the number of cells per batched kernel call; callers chunk
+/// larger groups. Bounds the SoA working set (keeps a full symbolic layer
+/// sweep inside L2) and the kernels' stack scratch.
+inline constexpr std::size_t kMaxLanes = 64;
+
+/// Instruction-set back end for the kernels. Both produce bitwise-identical
+/// results (see file comment); the choice is purely a throughput knob.
+enum class Isa {
+  kPortable,  ///< plain C++, auto-vectorized at the baseline ISA
+  kAvx2,      ///< explicit AVX2 path (x86-64 with AVX2+FMA at runtime)
+};
+
+[[nodiscard]] const char* to_string(Isa isa);
+
+/// True when this binary carries the AVX2 kernels *and* the CPU reports
+/// AVX2+FMA at runtime.
+[[nodiscard]] bool cpu_supports_avx2();
+
+/// Pure resolution of the `NNCS_NN_SIMD` override ("auto" | "portable" |
+/// "avx2"; unset/unknown = auto) against CPU support. "avx2" on a machine
+/// without it silently degrades to portable — the results are identical
+/// anyway, only the speed differs.
+[[nodiscard]] Isa resolve_isa(const char* env_value, bool cpu_avx2);
+
+/// The process-wide kernel back end: `resolve_isa(getenv("NNCS_NN_SIMD"),
+/// cpu_supports_avx2())`, resolved once on first use.
+[[nodiscard]] Isa active_isa();
+
+/// Exact clones of `std::nextafter(x, +inf)` / `std::nextafter(x, -inf)`
+/// for non-NaN `x` (the Interval invariant excludes NaN bounds), written as
+/// sign-magnitude integer steps so the AVX2 kernels can apply the one-ulp
+/// outward rounding of `rnd::` in vector registers. Fuzzed bit-for-bit
+/// against libm in test_kernels.cpp.
+[[nodiscard]] double next_up(double x);
+[[nodiscard]] double next_down(double x);
+
+/// A batch of interval activation vectors, SoA over the lanes:
+/// `lo[i * lanes + l]` is neuron i's lower bound in cell l.
+struct IntervalBatch {
+  std::size_t width = 0;
+  std::size_t lanes = 0;
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  void resize(std::size_t new_width, std::size_t new_lanes);
+  /// Load one input box per lane (all boxes must share `width` dimensions).
+  void load(const std::vector<Box>& boxes);
+  /// Extract lane `l` back into a Box (bounds bit-preserved).
+  [[nodiscard]] Box extract(std::size_t l) const;
+};
+
+/// One side (lower or upper) of a batch of affine bound forms: `width`
+/// neuron rows, each holding `n_in` input coefficients, a constant and a
+/// rounding-error term per lane. Rows are contiguous — all lower-bound rows
+/// live in one buffer, all upper-bound rows in another (`SymbolicBatch`).
+struct AffineBatch {
+  std::size_t width = 0;
+  std::size_t n_in = 0;
+  std::size_t lanes = 0;
+  /// `coeffs[(r * n_in + i) * lanes + l]`: row r, input coefficient i, lane l.
+  std::vector<double> coeffs;
+  /// `constant[r * lanes + l]`, `err[r * lanes + l]`.
+  std::vector<double> constant;
+  std::vector<double> err;
+
+  void resize(std::size_t new_width, std::size_t new_n_in, std::size_t new_lanes);
+
+  [[nodiscard]] double* row_coeffs(std::size_t r) { return coeffs.data() + r * n_in * lanes; }
+  [[nodiscard]] const double* row_coeffs(std::size_t r) const {
+    return coeffs.data() + r * n_in * lanes;
+  }
+};
+
+/// Lower and upper affine-form batches for one layer of activations.
+struct SymbolicBatch {
+  AffineBatch lower;
+  AffineBatch upper;
+
+  void resize(std::size_t width, std::size_t n_in, std::size_t lanes);
+};
+
+/// Batched interval affine image: per lane, exactly
+///   out_r = Interval{bias_r} + Σ_c Interval{W(r,c)} * in_c
+/// with the `Interval::operator*` degenerate-factor shortcuts and
+/// `corner_mul` 0·inf convention replicated bit-for-bit, followed (when
+/// `relu` is set) by `max(·, [0,0])` with `std::max` tie semantics.
+void interval_affine_layer(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
+                           bool relu, Isa isa);
+
+/// Batched symbolic affine sweep: per lane and output row r, exactly the
+/// scalar propagator's
+///   lower_r/upper_r = bias_r; then per column c with w = W(r,c) != 0:
+///   axpy(±side, w, in_c side)   (coeffs in index order, then constant,
+///                                then the kCoeffSlack error update)
+/// — the hot loop of the whole verifier. The AVX2 back end runs the lane
+/// loop in 256-bit registers (explicit intrinsics, no value-changing FMA).
+void symbolic_affine_layer(const Layer& layer, const SymbolicBatch& in, SymbolicBatch& out,
+                           Isa isa);
+
+/// Blocked concrete affine map out = W·x + b: rows are processed in blocks
+/// of four sharing the streamed `x` loads, but each row keeps the scalar
+/// left-to-right accumulation `acc = b_r; acc += W(r,c)·x_c` so results are
+/// bit-identical to the naive loop (`Network::eval` routes through this).
+void dense_affine(const Matrix& weights, const Vec& biases, const double* x, double* out);
+
+}  // namespace nncs::kern

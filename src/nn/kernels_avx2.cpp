@@ -1,0 +1,15 @@
+// AVX2 back end of the batched layer kernels. This translation unit is the
+// only one compiled with -mavx2 -mfma; -ffp-contract=off keeps the compiler
+// from fusing the mul/add pairs into FMAs, which would change rounding and
+// break the bit-for-bit equivalence with the scalar propagators (the fused
+// units are still used for the integer/logic plumbing the wider registers
+// provide). Callers must route here only after a runtime AVX2 check — see
+// kern::active_isa().
+
+#ifdef NNCS_HAVE_AVX2
+
+#define NNCS_KERN_BACKEND avx2
+#include "nn/kernels_impl.inl"
+#undef NNCS_KERN_BACKEND
+
+#endif  // NNCS_HAVE_AVX2

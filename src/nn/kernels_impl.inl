@@ -1,0 +1,322 @@
+// Shared implementation of the batched layer kernels, included by both
+// kernels.cpp (portable back end, baseline ISA) and kernels_avx2.cpp
+// (compiled with -mavx2 -mfma -ffp-contract=off). The two translation units
+// differ only in the instruction set the compiler may use plus the explicit
+// intrinsics guarded by __AVX2__ below; because every lane executes the
+// scalar propagators' operation sequence and contraction is disabled, both
+// back ends produce bitwise-identical results.
+//
+// Requires NNCS_KERN_BACKEND to name the backend namespace (portable/avx2).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "interval/interval.hpp"
+#include "nn/kernels.hpp"
+
+namespace nncs::kern::NNCS_KERN_BACKEND {
+
+namespace {
+
+/// Mirrors symbolic_prop.cpp's kCoeffSlack (a few ulps per coefficient op).
+constexpr double kCoeffSlack = 4.0 * std::numeric_limits<double>::epsilon();
+
+/// Mirrors interval.cpp's corner_mul: 0 * inf = 0 by convention.
+inline double corner_mul(double a, double b) {
+  const double p = a * b;
+  if (std::isnan(p)) {
+    return 0.0;
+  }
+  return p;
+}
+
+/// One lane of Interval{w} * [b_lo, b_hi], replicating operator*'s
+/// degenerate-factor shortcuts and corner/min/max/rounding sequence exactly.
+/// `w` is never 1.0 or 0.0 here — those uniform cases are hoisted out of the
+/// lane loop by the caller.
+inline void mul_general_lane(double w, double b_lo, double b_hi, double& p_lo, double& p_hi) {
+  if (b_lo == b_hi) {
+    if (b_lo == 1.0) {
+      p_lo = w;
+      p_hi = w;
+      return;
+    }
+    if (b_lo == 0.0 && std::isfinite(w)) {
+      p_lo = 0.0;
+      p_hi = 0.0;
+      return;
+    }
+  }
+  // Corners c3/c4 equal c1/c2 bitwise for a degenerate first factor, and
+  // std::min/std::max over the 4-element initializer list then reduce to
+  // the leftmost-tie pairwise forms below.
+  const double c1 = corner_mul(w, b_lo);
+  const double c2 = corner_mul(w, b_hi);
+  const double lo = (c2 < c1) ? c2 : c1;
+  const double hi = (c1 < c2) ? c2 : c1;
+  p_lo = next_down(lo);
+  p_hi = next_up(hi);
+}
+
+/// One lane of Interval{0.0} * [b_lo, b_hi]: operator*'s a-degenerate-zero
+/// shortcut applies only to finite b; infinite b falls through to the
+/// b-degenerate checks and the corner path (where 0 * inf = 0).
+inline void mul_zero_lane(double b_lo, double b_hi, double& p_lo, double& p_hi) {
+  if (std::isfinite(b_lo) && std::isfinite(b_hi)) {
+    p_lo = 0.0;
+    p_hi = 0.0;
+    return;
+  }
+  mul_general_lane(0.0, b_lo, b_hi, p_lo, p_hi);
+}
+
+#if defined(__AVX2__)
+
+inline __m256d abs_pd(__m256d x) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  return _mm256_and_pd(x, mask);
+}
+
+/// Vector clone of kern::next_up (exact std::nextafter(x, +inf) for non-NaN
+/// lanes): sign-magnitude integer step with the ±0 and +inf fixups.
+inline __m256d next_up_pd(__m256d x) {
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i stepped_pos = _mm256_add_epi64(bits, one);
+  const __m256i stepped_neg = _mm256_sub_epi64(bits, one);
+  const __m256i sign_mask = _mm256_srai_epi32(_mm256_shuffle_epi32(bits, 0xF5), 31);
+  const __m256i stepped =
+      _mm256_blendv_epi8(stepped_pos, stepped_neg, sign_mask);
+  const __m256d zero_mask = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  const __m256d posinf_mask =
+      _mm256_cmp_pd(x, _mm256_set1_pd(std::numeric_limits<double>::infinity()), _CMP_EQ_OQ);
+  __m256d r = _mm256_castsi256_pd(stepped);
+  r = _mm256_blendv_pd(r, _mm256_castsi256_pd(one), zero_mask);
+  r = _mm256_blendv_pd(r, x, posinf_mask);
+  return r;
+}
+
+/// Vector clone of kern::next_down (exact std::nextafter(x, -inf)).
+inline __m256d next_down_pd(__m256d x) {
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i stepped_pos = _mm256_sub_epi64(bits, one);
+  const __m256i stepped_neg = _mm256_add_epi64(bits, one);
+  const __m256i sign_mask = _mm256_srai_epi32(_mm256_shuffle_epi32(bits, 0xF5), 31);
+  const __m256i stepped =
+      _mm256_blendv_epi8(stepped_pos, stepped_neg, sign_mask);
+  const __m256d zero_mask = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  const __m256d neginf_mask =
+      _mm256_cmp_pd(x, _mm256_set1_pd(-std::numeric_limits<double>::infinity()), _CMP_EQ_OQ);
+  const __m256i min_sub = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000001ULL));
+  __m256d r = _mm256_castsi256_pd(stepped);
+  r = _mm256_blendv_pd(r, _mm256_castsi256_pd(min_sub), zero_mask);
+  r = _mm256_blendv_pd(r, x, neginf_mask);
+  return r;
+}
+
+#endif  // __AVX2__
+
+/// The symbolic hot loop: dst += k * src on one SoA row pair, mirroring
+/// symbolic_prop.cpp's axpy per lane — coefficients in index order (each
+/// update feeding the lane's running |·| sum), then the constant, then the
+/// error-term update. The |·| sums live in registers the whole time.
+inline void batched_axpy(double* dst_coeffs, double* dst_constant, double* dst_err, double k,
+                         const double* src_coeffs, const double* src_constant,
+                         const double* src_err, std::size_t n_in, std::size_t lanes) {
+#if defined(__AVX2__)
+  const std::size_t vec_lanes = lanes - (lanes % 4);
+  const __m256d vk = _mm256_set1_pd(k);
+  const __m256d vabs_k = _mm256_set1_pd(std::fabs(k));
+  const __m256d vslack = _mm256_set1_pd(kCoeffSlack);
+  for (std::size_t l0 = 0; l0 < vec_lanes; l0 += 4) {
+    __m256d vabs = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < n_in; ++i) {
+      const std::size_t at = i * lanes + l0;
+      const __m256d t = _mm256_mul_pd(vk, _mm256_loadu_pd(src_coeffs + at));
+      const __m256d d = _mm256_add_pd(_mm256_loadu_pd(dst_coeffs + at), t);
+      _mm256_storeu_pd(dst_coeffs + at, d);
+      vabs = _mm256_add_pd(vabs, abs_pd(d));
+    }
+    const __m256d tc = _mm256_mul_pd(vk, _mm256_loadu_pd(src_constant + l0));
+    const __m256d dc = _mm256_add_pd(_mm256_loadu_pd(dst_constant + l0), tc);
+    _mm256_storeu_pd(dst_constant + l0, dc);
+    vabs = _mm256_add_pd(vabs, abs_pd(dc));
+    const __m256d te = _mm256_add_pd(_mm256_mul_pd(vabs_k, _mm256_loadu_pd(src_err + l0)),
+                                     _mm256_mul_pd(vslack, vabs));
+    _mm256_storeu_pd(dst_err + l0, _mm256_add_pd(_mm256_loadu_pd(dst_err + l0), te));
+  }
+  for (std::size_t l = vec_lanes; l < lanes; ++l) {
+#else
+  for (std::size_t l = 0; l < lanes; ++l) {
+#endif
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n_in; ++i) {
+      const std::size_t at = i * lanes + l;
+      dst_coeffs[at] += k * src_coeffs[at];
+      acc += std::fabs(dst_coeffs[at]);
+    }
+    dst_constant[l] += k * src_constant[l];
+    acc += std::fabs(dst_constant[l]);
+    dst_err[l] += std::fabs(k) * src_err[l] + kCoeffSlack * acc;
+  }
+}
+
+}  // namespace
+
+void interval_affine_layer_impl(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
+                                bool relu) {
+  const std::size_t rows = layer.weights.rows();
+  const std::size_t cols = layer.weights.cols();
+  const std::size_t lanes = in.lanes;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* acc_lo = out.lo.data() + r * lanes;
+    double* acc_hi = out.hi.data() + r * lanes;
+    const double bias = layer.biases[r];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      acc_lo[l] = bias;
+      acc_hi[l] = bias;
+    }
+    const double* wrow = layer.weights.row_data(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double w = wrow[c];
+      const double* b_lo = in.lo.data() + c * lanes;
+      const double* b_hi = in.hi.data() + c * lanes;
+      // acc += Interval{w} * in_c, per lane, with operator*'s uniform
+      // shortcuts (w == 1, w == 0) hoisted out of the lane loop.
+      if (w == 1.0) {
+#if defined(__AVX2__)
+        std::size_t l = 0;
+        for (; l + 4 <= lanes; l += 4) {
+          const __m256d nlo = next_down_pd(
+              _mm256_add_pd(_mm256_loadu_pd(acc_lo + l), _mm256_loadu_pd(b_lo + l)));
+          const __m256d nhi =
+              next_up_pd(_mm256_add_pd(_mm256_loadu_pd(acc_hi + l), _mm256_loadu_pd(b_hi + l)));
+          _mm256_storeu_pd(acc_lo + l, nlo);
+          _mm256_storeu_pd(acc_hi + l, nhi);
+        }
+        for (; l < lanes; ++l) {
+#else
+        for (std::size_t l = 0; l < lanes; ++l) {
+#endif
+          acc_lo[l] = next_down(acc_lo[l] + b_lo[l]);
+          acc_hi[l] = next_up(acc_hi[l] + b_hi[l]);
+        }
+      } else if (w == 0.0) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          double p_lo;
+          double p_hi;
+          mul_zero_lane(b_lo[l], b_hi[l], p_lo, p_hi);
+          acc_lo[l] = next_down(acc_lo[l] + p_lo);
+          acc_hi[l] = next_up(acc_hi[l] + p_hi);
+        }
+      } else {
+#if defined(__AVX2__)
+        std::size_t l = 0;
+        const __m256d vw = _mm256_set1_pd(w);
+        const __m256d vone = _mm256_set1_pd(1.0);
+        const __m256d vzero = _mm256_setzero_pd();
+        // An infinite weight needs corner_mul's 0·inf fixup — scalar only.
+        for (; std::isfinite(w) && l + 4 <= lanes; l += 4) {
+          const __m256d vlo = _mm256_loadu_pd(b_lo + l);
+          const __m256d vhi = _mm256_loadu_pd(b_hi + l);
+          // Degenerate-operand lanes ([v,v] with v == 1 or v == 0) take
+          // operator*'s exact (unrounded) shortcuts; a chunk containing one
+          // runs all four lanes through the scalar path instead.
+          const __m256d deg = _mm256_cmp_pd(vlo, vhi, _CMP_EQ_OQ);
+          const __m256d special = _mm256_and_pd(
+              deg, _mm256_or_pd(_mm256_cmp_pd(vlo, vone, _CMP_EQ_OQ),
+                                _mm256_cmp_pd(vlo, vzero, _CMP_EQ_OQ)));
+          if (_mm256_movemask_pd(special) != 0) {
+            for (std::size_t lane = l; lane < l + 4; ++lane) {
+              double p_lo;
+              double p_hi;
+              mul_general_lane(w, b_lo[lane], b_hi[lane], p_lo, p_hi);
+              acc_lo[lane] = next_down(acc_lo[lane] + p_lo);
+              acc_hi[lane] = next_up(acc_hi[lane] + p_hi);
+            }
+            continue;
+          }
+          const __m256d c1 = _mm256_mul_pd(vw, vlo);
+          const __m256d c2 = _mm256_mul_pd(vw, vhi);
+          __m256d p_lo = _mm256_blendv_pd(c1, c2, _mm256_cmp_pd(c2, c1, _CMP_LT_OQ));
+          __m256d p_hi = _mm256_blendv_pd(c1, c2, _mm256_cmp_pd(c1, c2, _CMP_LT_OQ));
+          p_lo = next_down_pd(p_lo);
+          p_hi = next_up_pd(p_hi);
+          const __m256d nlo = next_down_pd(_mm256_add_pd(_mm256_loadu_pd(acc_lo + l), p_lo));
+          const __m256d nhi = next_up_pd(_mm256_add_pd(_mm256_loadu_pd(acc_hi + l), p_hi));
+          _mm256_storeu_pd(acc_lo + l, nlo);
+          _mm256_storeu_pd(acc_hi + l, nhi);
+        }
+        for (; l < lanes; ++l) {
+#else
+        for (std::size_t l = 0; l < lanes; ++l) {
+#endif
+          double p_lo;
+          double p_hi;
+          mul_general_lane(w, b_lo[l], b_hi[l], p_lo, p_hi);
+          acc_lo[l] = next_down(acc_lo[l] + p_lo);
+          acc_hi[l] = next_up(acc_hi[l] + p_hi);
+        }
+      }
+    }
+    if (relu) {
+      // max(pre, [0,0]) with std::max tie semantics: (x < 0) ? 0 : x keeps
+      // the sign of -0.0 exactly as the scalar relu_image does.
+      for (std::size_t l = 0; l < lanes; ++l) {
+        acc_lo[l] = (acc_lo[l] < 0.0) ? 0.0 : acc_lo[l];
+        acc_hi[l] = (acc_hi[l] < 0.0) ? 0.0 : acc_hi[l];
+      }
+    }
+  }
+}
+
+void symbolic_affine_layer_impl(const Layer& layer, const SymbolicBatch& in,
+                                SymbolicBatch& out) {
+  const std::size_t rows = layer.weights.rows();
+  const std::size_t cols = layer.weights.cols();
+  const std::size_t n_in = in.lower.n_in;
+  const std::size_t lanes = in.lower.lanes;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* lo_c = out.lower.row_coeffs(r);
+    double* hi_c = out.upper.row_coeffs(r);
+    double* lo_const = out.lower.constant.data() + r * lanes;
+    double* hi_const = out.upper.constant.data() + r * lanes;
+    double* lo_err = out.lower.err.data() + r * lanes;
+    double* hi_err = out.upper.err.data() + r * lanes;
+    const double bias = layer.biases[r];
+    for (std::size_t j = 0; j < n_in * lanes; ++j) {
+      lo_c[j] = 0.0;
+      hi_c[j] = 0.0;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      lo_const[l] = bias;
+      hi_const[l] = bias;
+      lo_err[l] = 0.0;
+      hi_err[l] = 0.0;
+    }
+    const double* wrow = layer.weights.row_data(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double w = wrow[c];
+      if (w == 0.0) {
+        continue;
+      }
+      const std::size_t lo_side = (w >= 0.0) ? 0 : 1;  // 0 = lower, 1 = upper
+      const AffineBatch& src_for_lo = (lo_side == 0) ? in.lower : in.upper;
+      const AffineBatch& src_for_hi = (lo_side == 0) ? in.upper : in.lower;
+      batched_axpy(lo_c, lo_const, lo_err, w, src_for_lo.row_coeffs(c),
+                   src_for_lo.constant.data() + c * lanes, src_for_lo.err.data() + c * lanes,
+                   n_in, lanes);
+      batched_axpy(hi_c, hi_const, hi_err, w, src_for_hi.row_coeffs(c),
+                   src_for_hi.constant.data() + c * lanes, src_for_hi.err.data() + c * lanes,
+                   n_in, lanes);
+    }
+  }
+}
+
+}  // namespace nncs::kern::NNCS_KERN_BACKEND

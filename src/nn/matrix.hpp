@@ -9,6 +9,8 @@ namespace nncs {
 /// Dense row-major matrix of doubles — the weight storage for feedforward
 /// networks and for the symbolic bound propagation. Deliberately minimal:
 /// the library needs storage plus element access, not a linear-algebra DSL.
+/// The blocked/batched products over this storage live in `nn/kernels.hpp`;
+/// `row_data` exposes the contiguous rows those kernels stream.
 class Matrix {
  public:
   Matrix() = default;
@@ -21,6 +23,10 @@ class Matrix {
 
   double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous row `r` (`cols()` doubles) for kernel inner loops.
+  [[nodiscard]] const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+  [[nodiscard]] double* row_data(std::size_t r) { return data_.data() + r * cols_; }
 
   [[nodiscard]] const std::vector<double>& data() const { return data_; }
   [[nodiscard]] std::vector<double>& data() { return data_; }

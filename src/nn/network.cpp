@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/kernels.hpp"
+
 namespace nncs {
 
 namespace {
@@ -74,12 +76,11 @@ Vec Network::eval(const Vec& x) const {
     const Layer& layer = layers_[li];
     const bool is_output = li + 1 == layers_.size();
     Vec next(layer.weights.rows());
-    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
-      double acc = layer.biases[r];
-      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
-        acc += layer.weights(r, c) * current[c];
+    kern::dense_affine(layer.weights, layer.biases, current.data(), next.data());
+    if (!is_output) {
+      for (double& v : next) {
+        v = std::max(0.0, v);
       }
-      next[r] = is_output ? acc : std::max(0.0, acc);
     }
     current = std::move(next);
   }
@@ -99,13 +100,7 @@ Network::Trace Network::eval_trace(const Vec& x) const {
     const Layer& layer = layers_[li];
     const bool is_output = li + 1 == layers_.size();
     Vec pre(layer.weights.rows());
-    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
-      double acc = layer.biases[r];
-      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
-        acc += layer.weights(r, c) * current[c];
-      }
-      pre[r] = acc;
-    }
+    kern::dense_affine(layer.weights, layer.biases, current.data(), pre.data());
     trace.preactivations.push_back(pre);
     Vec post(pre.size());
     for (std::size_t r = 0; r < pre.size(); ++r) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "interval/box.hpp"
+#include "nn/kernels.hpp"
 #include "nn/network.hpp"
 
 namespace nncs {
@@ -46,6 +47,24 @@ struct SymbolicBounds {
 /// outward-rounded interval arithmetic and adds `err`. The plain interval
 /// transformer remains the bitwise-rigorous fallback.
 SymbolicBounds symbolic_propagate(const Network& net, const Box& input);
+
+/// Batched transformer: propagate several cells' input boxes through one
+/// structure-of-arrays layer sweep (`nn/kernels.hpp`; all lower-bound rows
+/// contiguous, then all upper rows). Result i is bit-identical to
+/// `symbolic_propagate(net, inputs[i])` — forms, error terms and output box
+/// alike — because the lanes execute the scalar operation sequence in SIMD
+/// across cells while the per-cell order never changes. Beyond the SIMD
+/// width the batch also amortizes allocations: the scalar path builds a
+/// fresh heap `AffineForm` pair per neuron, the batch reuses flat buffers.
+/// Batches larger than `kern::kMaxLanes` are chunked internally.
+std::vector<SymbolicBounds> symbolic_propagate_batch(const Network& net,
+                                                     const std::vector<Box>& inputs);
+
+/// Same, with an explicit kernel back end (tests exercise both dispatch
+/// paths; production callers use the `active_isa()` default above).
+std::vector<SymbolicBounds> symbolic_propagate_batch(const Network& net,
+                                                     const std::vector<Box>& inputs,
+                                                     kern::Isa isa);
 
 /// Sound interval enclosure of an affine form over a box (outward-rounded,
 /// slack-inflated).

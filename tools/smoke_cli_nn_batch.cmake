@@ -1,0 +1,74 @@
+# End-to-end smoke for the batched NN-propagation path (`--nn-batch`,
+# `NNCS_NN_BATCH`, `NNCS_NN_SIMD`), run as a ctest `cmake -P` script (see
+# tools/CMakeLists.txt):
+#
+#   1. `--nn-batch 1` (scalar stepping) and `--nn-batch 8` (batched SoA
+#      kernel sweeps) produce byte-identical canonical reports — the
+#      tentpole's bit-exactness contract, checked on the real pipeline
+#   2. the default run (no flag) matches both: batching is on by default
+#      and must not perturb results
+#   3. `NNCS_NN_SIMD=portable` forces the non-AVX2 back end and still
+#      byte-matches — lane arithmetic is identical across ISAs
+#   4. `NNCS_NN_BATCH=4` (env knob) also byte-matches the flagged runs
+#
+# Required -D variables: VERIFY (binary), NETS (acasxu network cache dir),
+# OUT (scratch directory).
+
+foreach(var VERIFY NETS OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "smoke_cli_nn_batch: pass -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT})
+
+function(run_cli log)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${log}: expected exit 0, got ${code}\n"
+                        "stdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  message(STATUS "${log}: exit 0")
+endfunction()
+
+function(expect_identical log a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${log}: canonical reports differ (${a} vs ${b})")
+  endif()
+  message(STATUS "${log}: byte-identical")
+endfunction()
+
+set(FLAGS --scenario acasxu --arcs 4 --headings 4 --depth 1 --steps 10
+    --m 4 --order 3 --nets ${NETS} --threads 2 --quiet --canonical-report)
+
+# 1. Scalar vs batched stepping.
+run_cli("scalar stepping (--nn-batch 1)" ${VERIFY} ${FLAGS} --nn-batch 1
+  --report ${OUT}/batch1.csv)
+run_cli("batched stepping (--nn-batch 8)" ${VERIFY} ${FLAGS} --nn-batch 8
+  --report ${OUT}/batch8.csv)
+expect_identical("--nn-batch 1 vs --nn-batch 8" ${OUT}/batch1.csv ${OUT}/batch8.csv)
+
+# 2. The default run batches and must match the explicit runs.
+run_cli("default batching" ${VERIFY} ${FLAGS} --report ${OUT}/default.csv)
+expect_identical("default vs --nn-batch 1" ${OUT}/default.csv ${OUT}/batch1.csv)
+
+# 3. Portable (non-AVX2) kernels produce the same bits as the dispatched ISA.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env NNCS_NN_SIMD=portable
+  ${VERIFY} ${FLAGS} --nn-batch 8 --report ${OUT}/portable.csv
+  RESULT_VARIABLE code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "portable back end run failed (${code}):\n${stdout}\n${stderr}")
+endif()
+expect_identical("avx2/auto vs portable back end" ${OUT}/batch8.csv ${OUT}/portable.csv)
+
+# 4. The env knob routes to the same machinery as the flag.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env NNCS_NN_BATCH=4
+  ${VERIFY} ${FLAGS} --report ${OUT}/env4.csv
+  RESULT_VARIABLE code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "NNCS_NN_BATCH=4 run failed (${code}):\n${stdout}\n${stderr}")
+endif()
+expect_identical("NNCS_NN_BATCH=4 vs --nn-batch 1" ${OUT}/env4.csv ${OUT}/batch1.csv)

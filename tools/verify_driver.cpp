@@ -45,7 +45,7 @@ void handle_sigint(int) {
                "usage: %s%s [--arcs N] [--headings N] [--depth N] [--gamma N] [--steps N]\n"
                "          [--m N] [--order N]\n"
                "          [--domain interval|symbolic|affine|box|zonotope]\n"
-               "          [--nn-cache off|memo|containment]\n"
+               "          [--nn-cache off|memo|containment] [--nn-batch N]\n"
                "          [--strategy all|widest] [--threads N] [--nets DIR]\n"
                "          [--report FILE] [--canonical-report] [--time-budget SEC]\n"
                "          [--stop-on-violation] [--checkpoint FILE] [--resume FILE]\n"
@@ -216,6 +216,7 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
   int taylor_order = scen->default_taylor_order();
   scenario::SystemConfig system_config;
   system_config.nn_cache = nn_cache_config_from_env();
+  config.reach.nn_batch = env_nn_batch(config.reach.nn_batch);
   std::string report_path;
   std::string checkpoint_path = env_path("NNCS_CHECKPOINT");
   std::string resume_path;
@@ -280,6 +281,9 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
         usage(argv[0], options);
       }
       system_config.nn_cache.mode = *mode;
+    } else if (!std::strcmp(arg, "--nn-batch")) {
+      config.reach.nn_batch =
+          static_cast<std::size_t>(parse_int(argv[0], arg, need_value(i), 1, 64));
     } else if (!std::strcmp(arg, "--strategy")) {
       const std::string v = need_value(i);
       if (v == "all") {
