@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     double total_width = 0.0;
     std::size_t steps = 0;
     for (const auto& cell : cells) {
-      const auto step = system.controller->step_abstract(cell.state.box, cell.state.command);
+      const auto step = system.controller->step_abstract(cell.state.box(), cell.state.command);
       total_commands += static_cast<double>(step.commands.size());
       for (std::size_t j = 0; j < step.network_output.dim(); ++j) {
         total_width += step.network_output[j].width();

@@ -6,7 +6,10 @@
 // compared exactly (the wall section is tolerance-compared instead).
 //
 // Flags: --nets DIR (network cache directory, default the scenario's),
-// --artifact-dir DIR (output directory for BENCH_canonical_acasxu.json).
+// --artifact-dir DIR (output directory for the artifact),
+// --domain box|zonotope (loop domain; zonotope writes
+// BENCH_canonical_acasxu_zonotope.json so both domains keep independent
+// committed baselines and the perf gate can watch the relational path).
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,11 +49,23 @@ int main(int argc, char** argv) {
 
   const std::filesystem::path artifact_dir = bench::artifact_dir_from_args(argc, argv);
   std::string nets_dir;
+  LoopDomain loop_domain = LoopDomain::kBox;
   for (int i = 1; i + 1 < argc; ++i) {
     if (!std::strcmp(argv[i], "--nets")) {
       nets_dir = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--domain")) {
+      const auto parsed = parse_loop_domain(argv[i + 1]);
+      if (!parsed) {
+        std::fprintf(stderr, "[bench-canonical] unknown --domain '%s' (box|zonotope)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      loop_domain = *parsed;
     }
   }
+  const std::string bench_name = loop_domain == LoopDomain::kZonotope
+                                     ? "canonical_acasxu_zonotope"
+                                     : "canonical_acasxu";
 
   obs::set_enabled(true);
   obs::Registry::instance().reset();
@@ -91,11 +106,14 @@ int main(int argc, char** argv) {
   // Pinned (not NNCS_NN_BATCH-derived): batching is bit-identical to scalar
   // stepping, so this only fixes the performance shape of the workload.
   engine_config.verify.reach.nn_batch = kNnBatch;
+  engine_config.verify.reach.domain = loop_domain;
   engine_config.verify.max_refinement_depth = kDepth;
   engine_config.verify.threads = kThreads;
 
-  std::printf("[bench-canonical] %zux%zu cells, depth %d, q=%d, M=%d, gamma=%zu, %zu threads\n",
-              kArcs, kHeadings, kDepth, kControlSteps, kIntegrationSteps, kGamma, kThreads);
+  std::printf("[bench-canonical] %zux%zu cells, depth %d, q=%d, M=%d, gamma=%zu, %zu threads, "
+              "%s domain\n",
+              kArcs, kHeadings, kDepth, kControlSteps, kIntegrationSteps, kGamma, kThreads,
+              to_string(loop_domain));
 
   Stopwatch watch;
   const VerificationEngine engine(system.loop, *error, *target);
@@ -126,6 +144,6 @@ int main(int argc, char** argv) {
 
   std::printf("[bench-canonical] coverage %.2f %%  (%zu leaves, %.2f s)\n",
               run.coverage_percent, run.leaves.size(), run.wall_seconds);
-  bench::write_bench_report("canonical_acasxu", run, artifact_dir);
+  bench::write_bench_report(bench_name, run, artifact_dir);
   return 0;
 }

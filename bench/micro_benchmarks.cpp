@@ -138,8 +138,9 @@ void BM_AbstractControllerStepBatch(benchmark::State& state) {
     cells.back()[0] = Interval{cells.back()[0].lo() + shift, cells.back()[0].hi() + shift};
     prev.push_back(ax::kCoc);
   }
+  const std::vector<AbstractState> states_batch(cells.begin(), cells.end());
   for (auto _ : state) {
-    auto steps = system.controller->step_abstract_batch(cells, prev);
+    auto steps = system.controller->step_abstract_batch(states_batch, prev);
     benchmark::DoNotOptimize(steps);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

@@ -57,7 +57,7 @@ std::vector<InitialCell> make_initial_cells(const ScenarioConfig& config) {
       const double p_lo = psi_min + static_cast<double>(h) * psi_width;
       const double p_hi = p_lo + psi_width;
       InitialCell cell;
-      cell.state.box = Box{x, y, Interval{p_lo, p_hi}, Interval{config.vown},
+      cell.state.abstract = Box{x, y, Interval{p_lo, p_hi}, Interval{config.vown},
                            Interval{config.vint}};
       cell.state.command = kCoc;
       cell.bearing_lo = b_lo;

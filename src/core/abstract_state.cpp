@@ -1,0 +1,38 @@
+#include "core/abstract_state.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace nncs {
+
+AffineSet AbstractState::lift() const {
+  return relational_ ? *relational_ : AffineSet::from_box(box_);
+}
+
+std::pair<AbstractState, AbstractState> AbstractState::bisect(std::size_t d) const {
+  auto halves = box_.bisect(d);
+  return {AbstractState{std::move(halves.first)}, AbstractState{std::move(halves.second)}};
+}
+
+std::vector<AbstractState> AbstractState::split(
+    const std::vector<std::size_t>& dims_to_split) const {
+  std::vector<Box> boxes = box_.split(dims_to_split);
+  std::vector<AbstractState> out;
+  out.reserve(boxes.size());
+  for (Box& b : boxes) {
+    out.emplace_back(std::move(b));
+  }
+  return out;
+}
+
+AbstractState join(const AbstractState& a, const AbstractState& b) {
+  if (a.has_relational() || b.has_relational()) {
+    NNCS_COUNT("core.join_relational_drops", 1);
+  }
+  return AbstractState{hull(a.box(), b.box())};
+}
+
+double distance(const AbstractState& a, const AbstractState& b) {
+  return a.box().center_distance(b.box());
+}
+
+}  // namespace nncs

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "interval/affine_set.hpp"
+#include "interval/box.hpp"
+
+namespace nncs {
+
+/// First-class abstract plant-state enclosure: the domain value carried by a
+/// symbolic state through the whole verification loop.
+///
+/// Every AbstractState holds a box enclosure; in the zonotope loop domain it
+/// additionally holds a relational refinement (an affine set over shared
+/// noise symbols that tracks correlations between dimensions). Invariant:
+/// **both representations enclose the represented set**. The box is *not*
+/// necessarily the hull of the relational part — the validated integrator
+/// intersects the affine end-set's per-dimension ranges with its boxed
+/// Taylor step, so the box can be componentwise tighter than
+/// `relational()->concretize()` (see `TaylorIntegrator::step_affine`).
+/// Consumers therefore use the box for all box-shaped queries (checks,
+/// splitting, joins, reports) and `lift()` when they need a relational view.
+///
+/// The relational part is shared because sibling states forked by a command
+/// split alias the same continuous post-image.
+class AbstractState {
+ public:
+  AbstractState() = default;
+
+  /// Box-only state (the box loop domain, and any freshly split cell).
+  /// Implicit on purpose: a Box *is* an abstract state, and the conversion
+  /// keeps `SymbolicState{Box{...}, cmd}` literals working everywhere.
+  AbstractState(Box box) : box_(std::move(box)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Box plus relational refinement (zonotope loop domain successors).
+  AbstractState(Box box, std::shared_ptr<const AffineSet> relational)
+      : box_(std::move(box)), relational_(std::move(relational)) {}
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] bool has_relational() const { return relational_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<const AffineSet>& relational() const { return relational_; }
+
+  /// Relational view of this state: the stored affine set when present,
+  /// otherwise a fresh re-lift of the box (each non-degenerate dimension
+  /// gets its own noise symbol). This is the single place the loop converts
+  /// box state into zonotope state.
+  [[nodiscard]] AffineSet lift() const;
+
+  /// Bisect the box along dimension `d`. The relational part is dropped on
+  /// both children: it describes the whole parent set, so reusing it for a
+  /// strict subset would be unsound; children re-lift from their boxes.
+  [[nodiscard]] std::pair<AbstractState, AbstractState> bisect(std::size_t d) const;
+
+  /// Split the box along each listed dimension (2^k children). Relational
+  /// part dropped, as in `bisect`.
+  [[nodiscard]] std::vector<AbstractState> split(const std::vector<std::size_t>& dims_to_split) const;
+
+ private:
+  Box box_;
+  std::shared_ptr<const AffineSet> relational_;
+};
+
+/// Def 10 join on abstract states: hull of the boxes. The relational
+/// refinement (if either input carries one) dies at the join — the hull box
+/// is the only sound common representation — and the demotion is counted as
+/// `core.join_relational_drops`.
+[[nodiscard]] AbstractState join(const AbstractState& a, const AbstractState& b);
+
+/// Def 9 distance: euclidean distance between box centers.
+[[nodiscard]] double distance(const AbstractState& a, const AbstractState& b);
+
+}  // namespace nncs

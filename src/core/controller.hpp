@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/abstract_state.hpp"
 #include "interval/affine_set.hpp"
 #include "interval/box.hpp"
 #include "nn/network.hpp"
@@ -134,12 +135,15 @@ class Controller {
       const AffineSet& state, std::size_t previous_command) const {
     return step_abstract(state.concretize(), previous_command);
   }
-  /// Batched abstract control step: element i of the result must equal
-  /// `step_abstract(states[i], previous_commands[i])`. The default loops the
-  /// scalar step; `NeuralController` overrides it to send sibling cells
-  /// through one SoA kernel sweep per network (`nn/kernels.hpp`).
+  /// Batched abstract control step over abstract states: element i of the
+  /// result must equal `step_abstract_relational(states[i].lift(), ...)`
+  /// when `states[i].has_relational()` and `step_abstract(states[i].box(),
+  /// ...)` otherwise. The default loops the scalar steps; `NeuralController`
+  /// overrides it to send sibling cells through one SoA kernel sweep per
+  /// network (`nn/kernels.hpp`).
   [[nodiscard]] virtual std::vector<AbstractControlStep> step_abstract_batch(
-      const std::vector<Box>& states, const std::vector<std::size_t>& previous_commands) const;
+      const std::vector<AbstractState>& states,
+      const std::vector<std::size_t>& previous_commands) const;
 };
 
 /// The generic neural network based controller N of §4.3 (Fig 2/5):
@@ -188,24 +192,31 @@ class NeuralController final : public Controller {
   /// Relational step Pre# ∘ F# ∘ Post# over an affine set: the pre-image
   /// keeps the state's noise symbols, the zonotope transformer consumes the
   /// affine forms directly and the argmin post-processor prunes on the
-  /// relational output differences. Bypasses the NN query cache — cache
-  /// entries are keyed by input *box*, which cannot distinguish two
-  /// zonotopes with the same hull, so replaying one would be unsound.
+  /// relational output differences. Never uses exact-match cache replay —
+  /// cache entries are keyed by input *box*, which cannot distinguish two
+  /// zonotopes with the same hull. In containment mode it may soundly reuse
+  /// a cached box-valid propagation covering the pre-image's concretized
+  /// hull (restricted to the hull's symbol sub-ranges), falling back to full
+  /// propagation when the reused bounds prune nothing.
   [[nodiscard]] AbstractControlStep step_abstract_relational(
       const AffineSet& state, std::size_t previous_command) const override;
 
   /// Batched abstract step: Pre# and the cache consult run per state in
-  /// scalar order; remaining misses are grouped by selected network,
-  /// deduplicated under the cache key's equality and propagated through one
-  /// batched SoA sweep per network. Bit-identical to looping `step_abstract`
-  /// — the batched transformers replicate the scalar rounding sequence per
-  /// lane, and a within-batch duplicate replays the first propagation just
-  /// as the memo hit it would have been in the scalar loop (only the
-  /// informational hit/miss counters can differ). Containment-mode caching
-  /// and the affine domain fall back to the scalar loop: the former's reuse
-  /// is query-order-dependent, the latter has no batched transformer.
+  /// scalar order; remaining misses are grouped by selected network and
+  /// propagated through one batched SoA sweep per network. Box-state misses
+  /// are deduplicated under the cache key's equality; relational states are
+  /// never deduplicated (two zonotopes can share one hull) and always route
+  /// through the batched zonotope transformer regardless of the NN domain,
+  /// exactly like the scalar `step_abstract_relational`. Bit-identical to
+  /// looping the scalar steps — the batched transformers replicate the
+  /// scalar rounding sequence per lane, and a within-batch duplicate replays
+  /// the first propagation just as the memo hit would have in the scalar
+  /// loop (only the informational hit/miss counters can differ).
+  /// Containment-mode caching falls back to the scalar loop: its reuse is
+  /// query-order-dependent (every hit inserts an entry later queries may
+  /// cover), so a batched sweep could not replay the scalar results.
   [[nodiscard]] std::vector<AbstractControlStep> step_abstract_batch(
-      const std::vector<Box>& states,
+      const std::vector<AbstractState>& states,
       const std::vector<std::size_t>& previous_commands) const override;
 
  private:

@@ -41,7 +41,7 @@ bool cell_outcome_less(const CellOutcome& a, const CellOutcome& b) {
   if (a.depth != b.depth) {
     return a.depth < b.depth;
   }
-  const int boxes = box_compare(a.initial.box, b.initial.box);
+  const int boxes = box_compare(a.initial.box(), b.initial.box());
   if (boxes != 0) {
     return boxes < 0;
   }
@@ -55,7 +55,7 @@ bool verify_job_less(const VerifyJob& a, const VerifyJob& b) {
   if (a.depth != b.depth) {
     return a.depth < b.depth;
   }
-  const int boxes = box_compare(a.cell.box, b.cell.box);
+  const int boxes = box_compare(a.cell.box(), b.cell.box());
   if (boxes != 0) {
     return boxes < 0;
   }
@@ -149,7 +149,7 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
     std::vector<std::size_t> splittable;
     splittable.reserve(vc.split_dims.size());
     for (const std::size_t d : vc.split_dims) {
-      if (job.cell.box.bisectable(d)) {
+      if (job.cell.box().bisectable(d)) {
         splittable.push_back(d);
       }
     }
@@ -157,27 +157,27 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
       return {};
     }
     if (vc.split_strategy == SplitStrategy::kAllDims) {
-      return job.cell.box.split(splittable);
+      return job.cell.box().split(splittable);
     }
-    const Box& root = initial_cells[job.root_index].box;
+    const Box& root = initial_cells[job.root_index].box();
     const std::size_t k = splittable.size();
     std::size_t best = splittable[static_cast<std::size_t>(job.depth) % k];
     double best_ratio = 0.0;
     {
       const double root_width = root[best].width();
-      best_ratio = root_width > 0.0 ? job.cell.box[best].width() / root_width
-                                    : job.cell.box[best].width();
+      best_ratio = root_width > 0.0 ? job.cell.box()[best].width() / root_width
+                                    : job.cell.box()[best].width();
     }
     for (const std::size_t d : splittable) {
       const double root_width = root[d].width();
       const double ratio =
-          root_width > 0.0 ? job.cell.box[d].width() / root_width : job.cell.box[d].width();
+          root_width > 0.0 ? job.cell.box()[d].width() / root_width : job.cell.box()[d].width();
       if (ratio > best_ratio * 1.000001) {
         best_ratio = ratio;
         best = d;
       }
     }
-    auto [lower, upper] = job.cell.box.bisect(best);
+    auto [lower, upper] = job.cell.box().bisect(best);
     return {std::move(lower), std::move(upper)};
   };
 
@@ -239,7 +239,7 @@ EngineResult VerificationEngine::drive(const SymbolicSet& initial_cells, EngineC
           interior += res.stats;
           ++progress.cells_refined;
           for (Box& child : children) {
-            pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command, nullptr},
+            pending.push_back(VerifyJob{SymbolicState{std::move(child), job.cell.command},
                                         job.depth + 1, job.root_index});
           }
           spawned = children.size();

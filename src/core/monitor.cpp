@@ -20,7 +20,7 @@ SafetyMonitor::SafetyMonitor(std::vector<SymbolicState> proved_cells)
 SafetyMonitor::Answer SafetyMonitor::query(const Vec& initial_state,
                                            std::size_t initial_command) const {
   for (const auto& cell : cells_) {
-    if (cell.command == initial_command && cell.box.contains(initial_state)) {
+    if (cell.command == initial_command && cell.box().contains(initial_state)) {
       return Answer::kProvedSafe;
     }
   }

@@ -1,8 +1,10 @@
 #include "core/reachability.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "util/stopwatch.hpp"
 
@@ -75,13 +77,94 @@ void validate(const ClosedLoop& system, const SymbolicSet& initial, const ReachC
   const std::size_t dim = system.plant->state_dim();
   const std::size_t num_commands = system.controller->commands().size();
   for (const auto& state : initial) {
-    if (state.box.dim() != dim) {
+    if (state.box().dim() != dim) {
       throw std::invalid_argument("reach_analyze: initial box dimension mismatch");
     }
     if (state.command >= num_commands) {
       throw std::invalid_argument("reach_analyze: initial command index out of range");
     }
   }
+}
+
+/// One state's image over a control period: the boxed flowpipe view (what
+/// error checks and recordings consume in either domain), the abstract
+/// state the controller samples at t = jT, and the abstract state the
+/// successors carry to step j+1. `query`/`successor` are the only values
+/// that differ between loop domains — the unified step body treats them
+/// opaquely.
+struct StepImage {
+  Flowpipe pipe;
+  AbstractState query;
+  AbstractState successor;  ///< meaningful only when pipe.ok
+};
+
+/// Loop-domain policy: the single place the box and zonotope pipelines
+/// differ. One policy is instantiated per analysis, *before* the step loop;
+/// the per-step body itself is domain-free, so every counter, early-return
+/// point and successor ordering is defined exactly once.
+class DomainPolicy {
+ public:
+  DomainPolicy(const ClosedLoop& system, const ReachConfig& config)
+      : system_(system), config_(config) {}
+  virtual ~DomainPolicy() = default;
+  [[nodiscard]] virtual StepImage propagate(const SymbolicState& state) const = 0;
+
+ protected:
+  const ClosedLoop& system_;
+  const ReachConfig& config_;
+};
+
+/// Boxes everywhere (the paper's Algorithm 3): the controller samples the
+/// interval hull, correlations die at every hand-off.
+class BoxPolicy final : public DomainPolicy {
+ public:
+  using DomainPolicy::DomainPolicy;
+
+  [[nodiscard]] StepImage propagate(const SymbolicState& state) const override {
+    StepImage image;
+    image.pipe = simulate(*system_.plant, *config_.integrator, state.box(),
+                          system_.controller->commands()[state.command], system_.period,
+                          config_.integration_steps);
+    image.query = state.abstract;
+    if (image.pipe.ok) {
+      image.successor = AbstractState{image.pipe.end};
+    }
+    return image;
+  }
+};
+
+/// Affine sets end to end: the sampled state is lifted once (reusing the
+/// relational part a previous step threaded through, else re-lifting the
+/// box), the integrator's affine image keeps the step's noise symbols
+/// alive, the controller samples the same lift, and the post-image seeds
+/// the next step alongside its (possibly tighter) boxed view.
+class ZonotopePolicy final : public DomainPolicy {
+ public:
+  using DomainPolicy::DomainPolicy;
+
+  [[nodiscard]] StepImage propagate(const SymbolicState& state) const override {
+    StepImage image;
+    auto lift = std::make_shared<AffineSet>(state.abstract.lift());
+    AffineFlowpipe affine_pipe = simulate_affine(
+        *system_.plant, *config_.integrator, *lift,
+        system_.controller->commands()[state.command], system_.period, config_.integration_steps);
+    image.pipe.segments = std::move(affine_pipe.segments);
+    image.pipe.end = affine_pipe.end_box;
+    image.pipe.ok = affine_pipe.ok;
+    image.query = AbstractState{state.box(), std::move(lift)};
+    if (image.pipe.ok) {
+      image.successor = AbstractState{image.pipe.end,
+                                      std::make_shared<AffineSet>(std::move(affine_pipe.end))};
+    }
+    return image;
+  }
+};
+
+std::unique_ptr<DomainPolicy> make_policy(const ClosedLoop& system, const ReachConfig& config) {
+  if (config.domain == LoopDomain::kZonotope) {
+    return std::make_unique<ZonotopePolicy>(system, config);
+  }
+  return std::make_unique<BoxPolicy>(system, config);
 }
 
 }  // namespace
@@ -94,7 +177,11 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
   Stopwatch phase_watch;
   ReachResult result;
   PhaseBreakdown& phases = result.stats.phases;
-  const CommandSet& commands = system.controller->commands();
+
+  // The only domain dispatch of the analysis: everything below runs the
+  // same batched three-sweep body through this policy.
+  const std::unique_ptr<DomainPolicy> policy = make_policy(system, config);
+  const std::size_t nn_batch = std::max<std::size_t>(std::size_t{1}, config.nn_batch);
 
   SymbolicSet current = initial;
   bool terminated = false;
@@ -121,7 +208,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
     SymbolicSet active;
     active.reserve(current.size());
     for (const auto& state : current) {
-      if (!target.certainly_contains(state.box, state.command)) {
+      if (!target.certainly_contains(state.box(), state.command)) {
         active.push_back(state);
       }
     }
@@ -134,104 +221,22 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
     SymbolicSet next;
     std::vector<Flowpipe> step_pipes;
 
-    // Batched box-domain step: the per-state loop below interleaves
-    // simulation and controller work; here the same operations run in three
-    // ordered sweeps so sibling cells reach the controller together and the
-    // NN transformer amortizes one SoA kernel sweep over the batch. Every
-    // per-state check, counter and early return fires at the same point in
-    // state order as in the scalar loop, and the batched controller step is
-    // bit-identical to scalar stepping, so results cannot differ.
-    if (config.domain == LoopDomain::kBox && config.nn_batch > 1) {
-      // Sweep 1: discrete-instant check + validated simulation per state.
-      std::vector<Flowpipe> pipes;
-      pipes.reserve(active.size());
-      for (const auto& state : active) {
-        phase_watch.reset();
-        if (!config.check_intermediate &&
-            error.possibly_intersects(state.box, state.command)) {
-          phases.check_seconds += phase_watch.lap();
-          result.outcome = ReachOutcome::kErrorReachable;
-          result.offending = state;
-          result.offending_step = j;
-          result.stats.steps_executed = j;
-          result.stats.seconds = watch.seconds();
-          return result;
-        }
-        phases.check_seconds += phase_watch.lap();
-        Flowpipe pipe = simulate(*system.plant, *config.integrator, state.box,
-                                 commands[state.command], system.period,
-                                 config.integration_steps);
-        phases.simulate_seconds += phase_watch.lap();
-        ++result.stats.total_simulations;
-        if (!pipe.ok) {
-          result.outcome = ReachOutcome::kEnclosureFailure;
-          result.offending = state;
-          result.offending_step = j;
-          result.stats.steps_executed = j;
-          result.stats.seconds = watch.seconds();
-          return result;
-        }
-        if (config.check_intermediate) {
-          for (const Box& segment : pipe.segments) {
-            if (error.possibly_intersects(segment, state.command)) {
-              phases.check_seconds += phase_watch.lap();
-              result.outcome = ReachOutcome::kErrorReachable;
-              result.offending = SymbolicState{segment, state.command, nullptr};
-              result.offending_step = j;
-              result.stats.steps_executed = j;
-              result.stats.seconds = watch.seconds();
-              return result;
-            }
-          }
-        }
-        phases.check_seconds += phase_watch.lap();
-        pipes.push_back(std::move(pipe));
-      }
+    // The unified per-step body: three ordered sweeps, domain-free (the
+    // policy supplied all domain behavior up front). Sibling cells reach
+    // the controller together so the NN transformer amortizes one SoA
+    // kernel sweep over the batch; every per-state check, counter and
+    // early return fires at the same point in state order as a scalar
+    // loop would, and the batched controller step is bit-identical to
+    // scalar stepping, so results cannot differ.
 
-      // Sweep 2: abstract controller steps, chunked to nn_batch.
-      phase_watch.reset();
-      std::vector<AbstractControlStep> ctrl_steps;
-      ctrl_steps.reserve(active.size());
-      std::vector<Box> batch_states;
-      std::vector<std::size_t> batch_commands;
-      for (std::size_t begin = 0; begin < active.size(); begin += config.nn_batch) {
-        const std::size_t end = std::min(active.size(), begin + config.nn_batch);
-        batch_states.clear();
-        batch_commands.clear();
-        for (std::size_t k = begin; k < end; ++k) {
-          batch_states.push_back(active[k].box);
-          batch_commands.push_back(active[k].command);
-        }
-        std::vector<AbstractControlStep> chunk =
-            system.controller->step_abstract_batch(batch_states, batch_commands);
-        for (auto& step : chunk) {
-          ctrl_steps.push_back(std::move(step));
-        }
-      }
-      phases.controller_seconds += phase_watch.lap();
-
-      // Sweep 3: successor states and flowpipe recording, in state order.
-      for (std::size_t k = 0; k < active.size(); ++k) {
-        for (const std::size_t cmd : ctrl_steps[k].commands) {
-          next.push_back(SymbolicState{pipes[k].end, cmd, nullptr});
-        }
-        if (config.record_flowpipes) {
-          step_pipes.push_back(std::move(pipes[k]));
-        }
-      }
-      if (config.record_flowpipes) {
-        result.flowpipes.push_back(std::move(step_pipes));
-      }
-      result.stats.steps_executed = j + 1;
-      current = std::move(next);
-      continue;
-    }
-
+    // Sweep 1: discrete-instant check + validated simulation per state.
+    std::vector<StepImage> images;
+    images.reserve(active.size());
     for (const auto& state : active) {
       // Unsound discrete-instant baseline: check E only at t = jT.
       phase_watch.reset();
       if (!config.check_intermediate &&
-          error.possibly_intersects(state.box, state.command)) {
+          error.possibly_intersects(state.box(), state.command)) {
         phases.check_seconds += phase_watch.lap();
         result.outcome = ReachOutcome::kErrorReachable;
         result.offending = state;
@@ -241,33 +246,13 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         return result;
       }
       phases.check_seconds += phase_watch.lap();
-
-      // Algorithm 1: validated simulation over one control period. In the
-      // zonotope domain the affine set is threaded through the sub-steps
-      // (and later into the controller); the boxed flowpipe view below is
-      // what the error checks and recordings consume either way.
-      Flowpipe pipe;
-      std::shared_ptr<const AffineSet> end_relational;
-      std::optional<AffineSet> sampled_lift;
-      if (config.domain == LoopDomain::kZonotope) {
-        sampled_lift.emplace(state.relational ? *state.relational
-                                              : AffineSet::from_box(state.box));
-        AffineFlowpipe affine_pipe =
-            simulate_affine(*system.plant, *config.integrator, *sampled_lift,
-                            commands[state.command], system.period, config.integration_steps);
-        pipe.segments = std::move(affine_pipe.segments);
-        pipe.end = affine_pipe.end_box;
-        pipe.ok = affine_pipe.ok;
-        if (affine_pipe.ok) {
-          end_relational = std::make_shared<AffineSet>(std::move(affine_pipe.end));
-        }
-      } else {
-        pipe = simulate(*system.plant, *config.integrator, state.box,
-                        commands[state.command], system.period, config.integration_steps);
-      }
+      // Algorithm 1: validated simulation over one control period. The
+      // boxed flowpipe view is what the error checks and recordings
+      // consume in either domain.
+      StepImage image = policy->propagate(state);
       phases.simulate_seconds += phase_watch.lap();
       ++result.stats.total_simulations;
-      if (!pipe.ok) {
+      if (!image.pipe.ok) {
         result.outcome = ReachOutcome::kEnclosureFailure;
         result.offending = state;
         result.offending_step = j;
@@ -275,15 +260,14 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         result.stats.seconds = watch.seconds();
         return result;
       }
-
       // Check every intermediate enclosure against E (the sound mode; this
       // is what makes the analysis valid for all t, not just t = jT).
       if (config.check_intermediate) {
-        for (const Box& segment : pipe.segments) {
+        for (const Box& segment : image.pipe.segments) {
           if (error.possibly_intersects(segment, state.command)) {
             phases.check_seconds += phase_watch.lap();
             result.outcome = ReachOutcome::kErrorReachable;
-            result.offending = SymbolicState{segment, state.command, nullptr};
+            result.offending = SymbolicState{segment, state.command};
             result.offending_step = j;
             result.stats.steps_executed = j;
             result.stats.seconds = watch.seconds();
@@ -292,22 +276,42 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         }
       }
       phases.check_seconds += phase_watch.lap();
+      images.push_back(std::move(image));
+    }
 
-      // Abstract controller execution on the *sampled* state at t = jT
-      // (the command computed at step j is applied from (j+1)T on). The
-      // relational step feeds the sampled affine set straight into
-      // Pre# → F# → Post#, so the correlations the integrator preserved
-      // prune commands a box sample could not.
-      const AbstractControlStep ctrl =
-          sampled_lift
-              ? system.controller->step_abstract_relational(*sampled_lift, state.command)
-              : system.controller->step_abstract(state.box, state.command);
-      phases.controller_seconds += phase_watch.lap();
-      for (const std::size_t cmd : ctrl.commands) {
-        next.push_back(SymbolicState{pipe.end, cmd, end_relational});
+    // Sweep 2: abstract controller execution on the *sampled* states at
+    // t = jT (the command computed at step j is applied from (j+1)T on),
+    // chunked to nn_batch. Relational queries feed the sampled affine set
+    // straight into Pre# → F# → Post#, so the correlations the integrator
+    // preserved prune commands a box sample could not.
+    phase_watch.reset();
+    std::vector<AbstractControlStep> ctrl_steps;
+    ctrl_steps.reserve(active.size());
+    std::vector<AbstractState> batch_states;
+    std::vector<std::size_t> batch_commands;
+    for (std::size_t begin = 0; begin < active.size(); begin += nn_batch) {
+      const std::size_t end = std::min(active.size(), begin + nn_batch);
+      batch_states.clear();
+      batch_commands.clear();
+      for (std::size_t k = begin; k < end; ++k) {
+        batch_states.push_back(images[k].query);
+        batch_commands.push_back(active[k].command);
+      }
+      std::vector<AbstractControlStep> chunk =
+          system.controller->step_abstract_batch(batch_states, batch_commands);
+      for (auto& step : chunk) {
+        ctrl_steps.push_back(std::move(step));
+      }
+    }
+    phases.controller_seconds += phase_watch.lap();
+
+    // Sweep 3: successor states and flowpipe recording, in state order.
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      for (const std::size_t cmd : ctrl_steps[k].commands) {
+        next.push_back(SymbolicState{images[k].successor, cmd});
       }
       if (config.record_flowpipes) {
-        step_pipes.push_back(std::move(pipe));
+        step_pipes.push_back(std::move(images[k].pipe));
       }
     }
     if (config.record_flowpipes) {
@@ -326,7 +330,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
     for (const auto& state : current) {
       // The discrete-instant baseline must also check the final samples.
       if (!config.check_intermediate &&
-          error.possibly_intersects(state.box, state.command)) {
+          error.possibly_intersects(state.box(), state.command)) {
         phases.check_seconds += phase_watch.lap();
         result.outcome = ReachOutcome::kErrorReachable;
         result.offending = state;
@@ -334,7 +338,7 @@ ReachResult reach_analyze(const ClosedLoop& system, const SymbolicSet& initial,
         result.stats.seconds = watch.seconds();
         return result;
       }
-      if (!target.certainly_contains(state.box, state.command)) {
+      if (!target.certainly_contains(state.box(), state.command)) {
         terminated = false;
       }
     }

@@ -68,13 +68,13 @@ struct ReachConfig {
   NnCacheConfig nn_cache;
   /// Record every flowpipe (memory-heavy; for plots and tests).
   bool record_flowpipes = false;
-  /// Abstract controller steps per batched call in the box domain: up to
-  /// this many sibling states go to `Controller::step_abstract_batch` in one
-  /// SoA kernel sweep (results are bit-identical to scalar stepping — see
-  /// `NeuralController::step_abstract_batch`). 1 forces the scalar path;
-  /// values beyond `kern::kMaxLanes` are chunked by the transformers. The
-  /// zonotope domain always steps scalar (its relational transformer is
-  /// unbatched).
+  /// Abstract controller steps per batched call, in both loop domains: up
+  /// to this many sibling states go to `Controller::step_abstract_batch` in
+  /// one SoA kernel sweep (results are bit-identical to scalar stepping —
+  /// see `NeuralController::step_abstract_batch`; this includes relational
+  /// zonotope queries, which batch through `zonotope_propagate_batch`).
+  /// 1 degenerates to single-state batches; values beyond
+  /// `kern::kMaxLanes` are chunked by the transformers.
   std::size_t nn_batch = 8;
   /// Set representation threaded between integrator and controller.
   /// `kBox` reproduces the original pipeline bit for bit; `kZonotope`

@@ -74,7 +74,7 @@ void write_leaf_row(std::ostream& os, const CellOutcome& leaf) {
      << s.total_simulations << ',' << s.phases.simulate_seconds << ','
      << s.phases.controller_seconds << ',' << s.phases.join_seconds << ','
      << s.phases.check_seconds << ',' << leaf.initial.command;
-  for (const auto& iv : leaf.initial.box.intervals()) {
+  for (const auto& iv : leaf.initial.box().intervals()) {
     os << ',' << iv.lo() << ',' << iv.hi();
   }
   os << '\n';
@@ -111,7 +111,7 @@ CellOutcome parse_leaf_row(const std::string& line, bool v2) {
     leaf.stats.phases.check_seconds = parse_double(cells[11]);
   }
   leaf.initial.command = parse_size(cells[fixed - 1]);
-  leaf.initial.box = parse_box(cells, fixed);
+  leaf.initial.abstract = parse_box(cells, fixed);
   return leaf;
 }
 
@@ -231,7 +231,7 @@ void save_checkpoint(const EngineCheckpoint& checkpoint, std::ostream& os) {
   os << "frontier," << checkpoint.frontier.size() << '\n';
   for (const auto& job : checkpoint.frontier) {
     os << job.root_index << ',' << job.depth << ',' << job.cell.command;
-    for (const auto& iv : job.cell.box.intervals()) {
+    for (const auto& iv : job.cell.box().intervals()) {
       os << ',' << iv.lo() << ',' << iv.hi();
     }
     os << '\n';
@@ -300,7 +300,7 @@ EngineCheckpoint load_checkpoint(std::istream& is) {
     job.root_index = parse_size(cells[0]);
     job.depth = static_cast<int>(parse_size(cells[1]));
     job.cell.command = parse_size(cells[2]);
-    job.cell.box = parse_box(cells, 3);
+    job.cell.abstract = parse_box(cells, 3);
     checkpoint.frontier.push_back(std::move(job));
   }
   return checkpoint;

@@ -11,16 +11,14 @@ double distance(const SymbolicState& a, const SymbolicState& b) {
   if (a.command != b.command) {
     throw std::invalid_argument("distance: symbolic states carry different commands");
   }
-  return a.box.center_distance(b.box);
+  return distance(a.abstract, b.abstract);
 }
 
 SymbolicState join(const SymbolicState& a, const SymbolicState& b) {
   if (a.command != b.command) {
     throw std::invalid_argument("join: symbolic states carry different commands");
   }
-  // The relational refinement (if any) dies at the join: the hull box is
-  // the only sound common representation, and the next step re-lifts it.
-  return SymbolicState{hull(a.box, b.box), a.command, nullptr};
+  return SymbolicState{join(a.abstract, b.abstract), a.command};
 }
 
 ResizeStats resize(SymbolicSet& set, std::size_t gamma) {

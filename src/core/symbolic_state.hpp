@@ -1,41 +1,46 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <vector>
 
-#include "interval/affine_set.hpp"
-#include "interval/box.hpp"
+#include "core/abstract_state.hpp"
 
 namespace nncs {
 
-/// Symbolic state (paper Def 7): a plant-state box paired with one concrete
-/// actuation command, identified by its index into the finite command set U.
-/// It represents the (infinite) set of closed-loop states
-///   { (s, u) | s ∈ box, u = U[command] }.
+/// Symbolic state (paper Def 7): an abstract plant-state enclosure paired
+/// with one concrete actuation command, identified by its index into the
+/// finite command set U. It represents the (infinite) set of closed-loop
+/// states
+///   { (s, u) | s ∈ abstract, u = U[command] }.
+///
+/// The enclosure is an `AbstractState`: always a box, optionally refined by
+/// a relational (affine-set) part in the zonotope loop domain. All
+/// box-shaped consumers go through `box()`.
 struct SymbolicState {
-  Box box;
+  AbstractState abstract;
   std::size_t command = 0;
-  /// Optional relational refinement of `box` carried by the zonotope loop
-  /// domain: an affine set with concretize() ⊆ box describing the same
-  /// states with their correlations. Null in the box domain, and dropped
-  /// (reset to null) by `join` — re-lifting from the hull box is sound, it
-  /// just pays one wrapping hit at the join instead of propagating one per
-  /// step. Shared because sibling states forked by a command split alias
-  /// the same continuous post-image.
-  std::shared_ptr<const AffineSet> relational = nullptr;
+
+  [[nodiscard]] const Box& box() const { return abstract.box(); }
 };
 
 /// Symbolic set (paper Def 8): a finite collection of symbolic states whose
 /// union over-approximates a set of closed-loop states.
 using SymbolicSet = std::vector<SymbolicState>;
 
-/// Def 9: euclidean distance between box centers; only defined for states
-/// carrying the same command (throws otherwise).
+/// Def 9: euclidean distance between box centers.
+///
+/// Precondition: both states carry the same command (distance between
+/// states with different actuation is undefined in the paper's metric);
+/// throws `std::invalid_argument` otherwise.
 double distance(const SymbolicState& a, const SymbolicState& b);
 
-/// Def 10: smallest symbolic state containing both inputs (same command
-/// required; throws otherwise).
+/// Def 10: smallest symbolic state containing both inputs.
+///
+/// Precondition: `a.command == b.command` — a join across commands has no
+/// single representative command and `resize` never requests one; throws
+/// `std::invalid_argument` otherwise. The result keeps `a.command` and the
+/// hull of the two boxes; any relational refinement is demoted to the hull
+/// (counted as `core.join_relational_drops`).
 SymbolicState join(const SymbolicState& a, const SymbolicState& b);
 
 /// Statistics from one `resize` run.

@@ -63,6 +63,15 @@ Affine Affine::variable(double lo, double hi, NoiseSource& source) {
   return x;
 }
 
+Affine Affine::from_parts(double center, std::vector<std::pair<std::uint32_t, double>> terms,
+                          double err) {
+  Affine x;
+  x.center_ = center;
+  x.terms_ = std::move(terms);
+  x.err_ = err;
+  return x;
+}
+
 double Affine::radius() const {
   double r = err_;
   for (const auto& [id, coeff] : terms_) {

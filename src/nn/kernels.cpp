@@ -21,6 +21,7 @@ void interval_affine_layer_impl(const Layer& layer, const IntervalBatch& in, Int
                                 bool relu);
 void symbolic_affine_layer_impl(const Layer& layer, const SymbolicBatch& in,
                                 SymbolicBatch& out);
+void affine_form_layer_impl(const Layer& layer, const AffineFormBatch& in, AffineFormBatch& out);
 }  // namespace avx2
 #endif
 
@@ -137,6 +138,17 @@ void SymbolicBatch::resize(std::size_t width, std::size_t n_in, std::size_t lane
   upper.resize(width, n_in, lanes);
 }
 
+void AffineFormBatch::resize(std::size_t new_width, std::size_t new_capacity,
+                             std::size_t new_lanes) {
+  width = new_width;
+  capacity = new_capacity;
+  lanes = new_lanes;
+  n_slots = 0;
+  coeffs.assign(width * capacity * lanes, 0.0);
+  center.assign(width * lanes, 0.0);
+  err.assign(width * lanes, 0.0);
+}
+
 void interval_affine_layer(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
                            bool relu, Isa isa) {
   out.resize(layer.weights.rows(), in.lanes);
@@ -163,6 +175,28 @@ void symbolic_affine_layer(const Layer& layer, const SymbolicBatch& in, Symbolic
   (void)isa;
 #endif
   portable::symbolic_affine_layer_impl(layer, in, out);
+}
+
+void affine_form_layer(const Layer& layer, const AffineFormBatch& in, AffineFormBatch& out,
+                       Isa isa) {
+  // The caller preallocates `out` with the shared slot capacity; only the
+  // logical shape changes per layer, so no buffer ever reallocates (and the
+  // per-lane slot -> symbol maps stay valid).
+  if (out.capacity != in.capacity || out.lanes != in.lanes ||
+      out.coeffs.size() < layer.weights.rows() * out.capacity * out.lanes) {
+    throw std::invalid_argument("affine_form_layer: output batch not preallocated");
+  }
+  out.width = layer.weights.rows();
+  out.n_slots = in.n_slots;
+#ifdef NNCS_HAVE_AVX2
+  if (isa == Isa::kAvx2) {
+    avx2::affine_form_layer_impl(layer, in, out);
+    return;
+  }
+#else
+  (void)isa;
+#endif
+  portable::affine_form_layer_impl(layer, in, out);
 }
 
 void dense_affine(const Matrix& weights, const Vec& biases, const double* x, double* out) {

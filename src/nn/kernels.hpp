@@ -108,6 +108,38 @@ struct SymbolicBatch {
   void resize(std::size_t width, std::size_t n_in, std::size_t lanes);
 };
 
+/// A batch of affine-arithmetic forms (the zonotope domain's `Affine`),
+/// SoA over the lanes: `width` forms per lane, each with a center, an
+/// anonymous error term, and up to `capacity` noise-symbol coefficient
+/// slots of which `n_slots` are active. Slot -> noise-symbol-id mapping is
+/// per lane and owned by the orchestrator (zonotope_prop.cpp); the kernel
+/// only sees dense slot columns. Inactive/absent coefficients are +0.0,
+/// which the scalar `Affine` term-dropping semantics treat identically
+/// (proved by the slot-zero invariant: acc slots never hold -0.0).
+struct AffineFormBatch {
+  std::size_t width = 0;     ///< forms (neurons) per lane
+  std::size_t capacity = 0;  ///< allocated slot columns (>= n_slots, stable)
+  std::size_t n_slots = 0;   ///< active slot columns
+  std::size_t lanes = 0;
+  /// `coeffs[(f * capacity + s) * lanes + l]`: form f, slot s, lane l.
+  std::vector<double> coeffs;
+  /// `center[f * lanes + l]`, `err[f * lanes + l]`.
+  std::vector<double> center;
+  std::vector<double> err;
+
+  /// Resize and zero-fill. `capacity` must be sized by the caller to the
+  /// final slot count (input slots + one per potentially-unstable ReLU) so
+  /// the layout never reshuffles mid-propagation.
+  void resize(std::size_t new_width, std::size_t new_capacity, std::size_t new_lanes);
+
+  [[nodiscard]] double* form_coeffs(std::size_t f) {
+    return coeffs.data() + f * capacity * lanes;
+  }
+  [[nodiscard]] const double* form_coeffs(std::size_t f) const {
+    return coeffs.data() + f * capacity * lanes;
+  }
+};
+
 /// Batched interval affine image: per lane, exactly
 ///   out_r = Interval{bias_r} + Σ_c Interval{W(r,c)} * in_c
 /// with the `Interval::operator*` degenerate-factor shortcuts and
@@ -125,6 +157,22 @@ void interval_affine_layer(const Layer& layer, const IntervalBatch& in, Interval
 /// loop in 256-bit registers (explicit intrinsics, no value-changing FMA).
 void symbolic_affine_layer(const Layer& layer, const SymbolicBatch& in, SymbolicBatch& out,
                            Isa isa);
+
+/// Batched affine-arithmetic layer sweep (zonotope domain): per lane and
+/// output row r, exactly the scalar `zonotope_propagate` inner loop
+///   acc = Affine{bias_r}; per column c with w = W(r,c) != 0:
+///   acc += w * in_c
+/// where `w * in_c` replicates `operator*(double, Affine)` (per-slot scale
+/// feeding a running |·| sum, then the error update) and `acc += tmp`
+/// replicates `operator+` (per-slot merge feeding a second independent |·|
+/// sum, then the error update) — two abs accumulators, interleaved per slot,
+/// which is bitwise equal to the scalar tmp-then-merge order because the
+/// accumulators never interact. ReLU is NOT applied here; the orchestrator
+/// extracts lanes and runs the scalar `Affine::relu`. Weights are assumed
+/// finite (the scalar affine path produces NaN on infinite weights anyway).
+/// `out.n_slots` is set to `in.n_slots`.
+void affine_form_layer(const Layer& layer, const AffineFormBatch& in, AffineFormBatch& out,
+                       Isa isa);
 
 /// Blocked concrete affine map out = W·x + b: rows are processed in blocks
 /// of four sharing the streamed `x` loads, but each row keeps the scalar

@@ -167,6 +167,70 @@ inline void batched_axpy(double* dst_coeffs, double* dst_constant, double* dst_e
   }
 }
 
+/// The zonotope hot loop: acc += k * src over one pair of affine-form SoA
+/// rows. Mirrors Affine's `tmp = k * src` (operator*(double, Affine)) then
+/// `acc = acc + tmp` (operator+) exactly: two independent |·| accumulators
+/// — abs_t seeded with |tmp center| then fed per-slot |k·src_s| in slot
+/// order, abs_a seeded with |out center| then fed per-slot |acc_s + k·src_s|
+/// — interleaved per slot (bitwise equal to tmp-then-merge since the sums
+/// never interact), then the two error updates in scalar expression shape.
+/// The `src_s != 0` mask replicates the scalar sparse-term semantics: an
+/// absent (zero) source coefficient is never multiplied by k, which matters
+/// only for non-finite k but costs one compare per slot.
+inline void batched_affine_axpy(double* acc_coeffs, double* acc_center, double* acc_err,
+                                double k, const double* src_coeffs, const double* src_center,
+                                const double* src_err, std::size_t n_slots, std::size_t lanes) {
+#if defined(__AVX2__)
+  const std::size_t vec_lanes = lanes - (lanes % 4);
+  const __m256d vk = _mm256_set1_pd(k);
+  const __m256d vabs_k = _mm256_set1_pd(std::fabs(k));
+  const __m256d vslack = _mm256_set1_pd(kCoeffSlack);
+  const __m256d vzero = _mm256_setzero_pd();
+  for (std::size_t l0 = 0; l0 < vec_lanes; l0 += 4) {
+    const __m256d tc = _mm256_mul_pd(vk, _mm256_loadu_pd(src_center + l0));
+    __m256d vabs_t = abs_pd(tc);
+    const __m256d oc = _mm256_add_pd(_mm256_loadu_pd(acc_center + l0), tc);
+    __m256d vabs_a = abs_pd(oc);
+    for (std::size_t s = 0; s < n_slots; ++s) {
+      const std::size_t at = s * lanes + l0;
+      const __m256d src = _mm256_loadu_pd(src_coeffs + at);
+      const __m256d nonzero = _mm256_cmp_pd(src, vzero, _CMP_NEQ_UQ);
+      const __m256d t = _mm256_and_pd(_mm256_mul_pd(vk, src), nonzero);
+      vabs_t = _mm256_add_pd(vabs_t, abs_pd(t));
+      const __m256d o = _mm256_add_pd(_mm256_loadu_pd(acc_coeffs + at), t);
+      vabs_a = _mm256_add_pd(vabs_a, abs_pd(o));
+      _mm256_storeu_pd(acc_coeffs + at, o);
+    }
+    const __m256d te = _mm256_add_pd(_mm256_mul_pd(vabs_k, _mm256_loadu_pd(src_err + l0)),
+                                     _mm256_mul_pd(vslack, vabs_t));
+    const __m256d ne = _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(acc_err + l0), te),
+                                     _mm256_mul_pd(vslack, vabs_a));
+    _mm256_storeu_pd(acc_err + l0, ne);
+    _mm256_storeu_pd(acc_center + l0, oc);
+  }
+  for (std::size_t l = vec_lanes; l < lanes; ++l) {
+#else
+  for (std::size_t l = 0; l < lanes; ++l) {
+#endif
+    const double tmp_c = k * src_center[l];
+    double abs_t = std::fabs(tmp_c);
+    const double out_c = acc_center[l] + tmp_c;
+    double abs_a = std::fabs(out_c);
+    for (std::size_t s = 0; s < n_slots; ++s) {
+      const std::size_t at = s * lanes + l;
+      const double sv = src_coeffs[at];
+      const double t = (sv != 0.0) ? k * sv : 0.0;
+      abs_t += std::fabs(t);
+      const double o = acc_coeffs[at] + t;
+      abs_a += std::fabs(o);
+      acc_coeffs[at] = o;
+    }
+    const double tmp_err = std::fabs(k) * src_err[l] + kCoeffSlack * abs_t;
+    acc_err[l] = acc_err[l] + tmp_err + kCoeffSlack * abs_a;
+    acc_center[l] = out_c;
+  }
+}
+
 }  // namespace
 
 void interval_affine_layer_impl(const Layer& layer, const IntervalBatch& in, IntervalBatch& out,
@@ -315,6 +379,38 @@ void symbolic_affine_layer_impl(const Layer& layer, const SymbolicBatch& in,
       batched_axpy(hi_c, hi_const, hi_err, w, src_for_hi.row_coeffs(c),
                    src_for_hi.constant.data() + c * lanes, src_for_hi.err.data() + c * lanes,
                    n_in, lanes);
+    }
+  }
+}
+
+void affine_form_layer_impl(const Layer& layer, const AffineFormBatch& in,
+                            AffineFormBatch& out) {
+  const std::size_t rows = layer.weights.rows();
+  const std::size_t cols = layer.weights.cols();
+  const std::size_t n_slots = in.n_slots;
+  const std::size_t lanes = in.lanes;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* acc_c = out.form_coeffs(r);
+    double* acc_center = out.center.data() + r * lanes;
+    double* acc_err = out.err.data() + r * lanes;
+    const double bias = layer.biases[r];
+    // acc = Affine{bias}: center = bias, no terms, err = 0.
+    for (std::size_t j = 0; j < n_slots * lanes; ++j) {
+      acc_c[j] = 0.0;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      acc_center[l] = bias;
+      acc_err[l] = 0.0;
+    }
+    const double* wrow = layer.weights.row_data(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double w = wrow[c];
+      if (w == 0.0) {
+        continue;  // the scalar loop skips zero weights before `acc += w * x`
+      }
+      batched_affine_axpy(acc_c, acc_center, acc_err, w, in.form_coeffs(c),
+                          in.center.data() + c * lanes, in.err.data() + c * lanes, n_slots,
+                          lanes);
     }
   }
 }

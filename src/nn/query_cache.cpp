@@ -45,6 +45,14 @@ std::size_t entry_bytes(const Box& input, const NnQueryCache::Result& result) {
       bytes += (nb.lower.coeffs.size() + nb.upper.coeffs.size()) * sizeof(double);
     }
   }
+  if (result.affine) {
+    bytes += sizeof(AffineReuse);
+    for (const auto* forms : {&result.affine->inputs, &result.affine->outputs}) {
+      for (const Affine& form : *forms) {
+        bytes += sizeof(Affine) + form.terms().size() * sizeof(form.terms().front());
+      }
+    }
+  }
   return bytes;
 }
 
@@ -152,6 +160,35 @@ std::shared_ptr<const SymbolicBounds> NnQueryCache::find_containing(std::size_t 
       const double volume = entry.key.input.volume();
       if (!best || volume < best_volume) {
         best = entry.result.symbolic;
+        best_volume = volume;
+      }
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<const AffineReuse> NnQueryCache::find_containing_affine(std::size_t net_id,
+                                                                        DomainTag domain,
+                                                                        const Box& input) {
+  NNCS_SPAN("nn.cache.lookup");
+  std::shared_ptr<const AffineReuse> best;
+  double best_volume = 0.0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    std::size_t scanned = 0;
+    for (const Entry& entry : shard.lru) {
+      if (++scanned > config_.containment_scan) {
+        break;
+      }
+      if (entry.key.net_id != net_id || entry.key.domain != domain || !entry.result.affine) {
+        continue;
+      }
+      if (!entry.key.input.contains(input)) {
+        continue;
+      }
+      const double volume = entry.key.input.volume();
+      if (!best || volume < best_volume) {
+        best = entry.result.affine;
         best_volume = volume;
       }
     }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "interval/affine.hpp"
 #include "interval/box.hpp"
 #include "nn/symbolic_prop.hpp"
 
@@ -30,11 +31,14 @@ enum class NnCacheMode {
   /// produces fresh boxes); memo pays off when the same partition is
   /// analyzed repeatedly in one process (resume, re-verification, benches).
   kMemo,
-  /// Memo plus containment reuse for the symbolic domain: a cached
-  /// `SymbolicBounds` whose input box contains the query box is
-  /// re-concretized on the tighter query box. Sound — affine bounds valid
-  /// on B ⊇ B' are valid on B' — but wider than fresh propagation, so
-  /// enclosures (and therefore reports) may differ from `kOff`.
+  /// Memo plus containment reuse: a cached entry whose input box contains
+  /// the query box is re-concretized on the tighter query box. For the
+  /// symbolic domain the cached `SymbolicBounds` are re-evaluated on the
+  /// query box; for the affine/zonotope domain a cached box-valid
+  /// propagation (`AffineReuse`) is restricted to the query box's
+  /// noise-symbol sub-ranges. Sound — bounds valid on B ⊇ B' are valid on
+  /// B' — but wider than fresh propagation, so enclosures (and therefore
+  /// reports) may differ from `kOff`.
   kContainment,
 };
 
@@ -62,6 +66,21 @@ struct NnCacheConfig {
 /// ("off" / "memo" / "containment"; unset or unparsable → memo default).
 [[nodiscard]] NnCacheConfig nn_cache_config_from_env();
 
+/// Cached affine-arithmetic propagation, retained so containment mode can
+/// restrict it to tighter query boxes. Only *box-valid* propagations are
+/// cached this way: every input form has at most one noise term and the
+/// term symbols are pairwise distinct, so the set the inputs represent is
+/// exactly an axis-aligned box (per dimension `c_i + r_i·ε_i ± err_i`).
+/// That makes two things decidable that are not for a general zonotope:
+/// whether a query box is covered by the represented set, and which
+/// sub-range of each ε_i reproduces it. The outputs are the propagation's
+/// affine forms over those input symbols (plus fresh ReLU symbols, which
+/// restriction leaves at [-1, 1]).
+struct AffineReuse {
+  std::vector<Affine> inputs;
+  std::vector<Affine> outputs;
+};
+
 /// Sharded, thread-safe, LRU-bounded memo of abstract NN controller-step
 /// results, keyed by (network id, abstract domain, pre-processed input
 /// box). One instance is shared by every thread analyzing cells of one
@@ -69,8 +88,12 @@ struct NnCacheConfig {
 /// cell and thread boundaries. The domain tag keeps mixed-domain sharing
 /// sound: an interval-domain result replayed for a symbolic-domain query
 /// (or vice versa) would silently substitute one transformer's enclosure
-/// for another's. Relational (affine-input) queries never consult the cache
-/// at all — a box key cannot represent a zonotope's correlations.
+/// for another's. Relational (affine-input) queries never use exact-match
+/// replay — a box key cannot distinguish two zonotopes with the same hull —
+/// and their entries live under a dedicated domain tag so box queries can
+/// never replay them either; in containment mode they participate through
+/// `find_containing_affine` on the concretized hull, which is sound because
+/// the query zonotope is contained in its hull.
 ///
 /// Box keys hash their bounds' bit patterns with -0.0 canonicalized to 0.0,
 /// matching `Box::operator==` (which compares doubles, so -0.0 == 0.0).
@@ -86,6 +109,10 @@ class NnQueryCache {
     std::vector<std::size_t> commands;
     Box output_box;
     std::shared_ptr<const SymbolicBounds> symbolic;
+    /// Box-valid affine propagation for zonotope-domain containment reuse;
+    /// null outside containment mode (or when the inputs were not
+    /// box-valid).
+    std::shared_ptr<const AffineReuse> affine;
   };
 
   struct Stats {
@@ -125,6 +152,15 @@ class NnQueryCache {
   [[nodiscard]] std::shared_ptr<const SymbolicBounds> find_containing(std::size_t net_id,
                                                                       DomainTag domain,
                                                                       const Box& input);
+
+  /// Affine-domain analogue of `find_containing`: tightest cached entry of
+  /// the same domain carrying an `AffineReuse` payload whose input box
+  /// contains `input`. The caller still has to verify the payload's
+  /// *represented* set covers the query (the key box is the outward-rounded
+  /// hull, which can be strictly wider) before restricting it.
+  [[nodiscard]] std::shared_ptr<const AffineReuse> find_containing_affine(std::size_t net_id,
+                                                                          DomainTag domain,
+                                                                          const Box& input);
 
   /// Insert (or refresh) an entry; evicts least-recently-used entries past
   /// `max_entries`.

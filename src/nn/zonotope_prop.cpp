@@ -1,7 +1,11 @@
 #include "nn/zonotope_prop.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/span.hpp"
 
 namespace nncs {
 
@@ -52,6 +56,282 @@ ZonotopeBounds zonotope_propagate(const Network& net, std::vector<Affine> inputs
   result.outputs = std::move(current);
   result.output_box = Box{std::move(dims)};
   return result;
+}
+
+namespace {
+
+constexpr std::uint32_t kNoSymbol = 0xffffffffu;
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+/// Per-lane view of the shared slot layout: which noise-symbol id each slot
+/// column holds for this lane (kNoSymbol where the column belongs to other
+/// lanes only), plus the lane's replayed NoiseSource position. Non-sentinel
+/// ids are strictly increasing in slot order — input ids are scattered
+/// sorted and every fresh ReLU id exceeds all ids the lane allocated before
+/// it — which makes extraction yield sorted term lists for free.
+struct LaneSymbols {
+  std::vector<std::uint32_t> slot_ids;
+  std::uint32_t next_fresh = 0;
+};
+
+/// Rebuild lane `l`'s form `f` as a scalar Affine (sorted sparse terms).
+/// Sound to skip zero slots: a slot is 0.0 exactly when the scalar form has
+/// no such term (acc slots never hold -0.0 — see kern::AffineFormBatch).
+Affine extract_lane(const kern::AffineFormBatch& batch, std::size_t f, std::size_t l,
+                    const LaneSymbols& lane) {
+  const double* row = batch.form_coeffs(f);
+  std::vector<std::pair<std::uint32_t, double>> terms;
+  for (std::size_t s = 0; s < batch.n_slots; ++s) {
+    if (lane.slot_ids[s] == kNoSymbol) {
+      continue;
+    }
+    const double v = row[s * batch.lanes + l];
+    if (v != 0.0) {
+      terms.emplace_back(lane.slot_ids[s], v);
+    }
+  }
+  return Affine::from_parts(batch.center[f * batch.lanes + l], std::move(terms),
+                            batch.err[f * batch.lanes + l]);
+}
+
+/// Append a zeroed slot column (capacity is preallocated) and a sentinel
+/// entry to every lane's map.
+std::size_t append_slot(kern::AffineFormBatch& batch, std::vector<LaneSymbols>& lanes_sym) {
+  const std::size_t s = batch.n_slots;
+  for (std::size_t f = 0; f < batch.width; ++f) {
+    double* col = batch.form_coeffs(f) + s * batch.lanes;
+    for (std::size_t l = 0; l < batch.lanes; ++l) {
+      col[l] = 0.0;
+    }
+  }
+  ++batch.n_slots;
+  for (auto& lane : lanes_sym) {
+    lane.slot_ids.push_back(kNoSymbol);
+  }
+  return s;
+}
+
+/// Write `form` into lane `l`'s slot row for form `f` (zeros elsewhere).
+/// Two-pointer walk: term ids and non-sentinel slot ids are both ascending.
+void scatter_lane(kern::AffineFormBatch& batch, std::size_t f, std::size_t l,
+                  const LaneSymbols& lane, const Affine& form) {
+  double* row = batch.form_coeffs(f);
+  for (std::size_t s = 0; s < batch.n_slots; ++s) {
+    row[s * batch.lanes + l] = 0.0;
+  }
+  std::size_t s = 0;
+  for (const auto& [id, v] : form.terms()) {
+    while (s < batch.n_slots && lane.slot_ids[s] != id) {
+      ++s;
+    }
+    if (s >= batch.n_slots) {
+      throw std::logic_error("zonotope_propagate_batch: term id without a slot");
+    }
+    row[s * batch.lanes + l] = v;
+    ++s;
+  }
+  batch.center[f * batch.lanes + l] = form.center();
+  batch.err[f * batch.lanes + l] = form.error();
+}
+
+/// Scalar-exact ReLU over the batch: each lane is extracted, run through
+/// `Affine::relu` (the very code the scalar propagator executes), and
+/// scattered back. All unstable lanes of one row share one appended slot
+/// column; each keeps its own fresh symbol id in its map, exactly replaying
+/// the scalar per-state NoiseSource.
+void relu_stage(kern::AffineFormBatch& cur, std::vector<LaneSymbols>& lanes_sym) {
+  const std::size_t lanes = cur.lanes;
+  for (std::size_t r = 0; r < cur.width; ++r) {
+    std::size_t fresh_slot = kNoSlot;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const Affine form = extract_lane(cur, r, l, lanes_sym[l]);
+      const Interval range = form.range();
+      if (range.lo() >= 0.0) {
+        continue;  // scalar relu returns *this — the batch already holds it
+      }
+      if (range.hi() <= 0.0) {
+        double* row = cur.form_coeffs(r);
+        for (std::size_t s = 0; s < cur.n_slots; ++s) {
+          row[s * lanes + l] = 0.0;
+        }
+        cur.center[r * lanes + l] = 0.0;
+        cur.err[r * lanes + l] = 0.0;
+        continue;
+      }
+      const std::uint32_t fresh_id = lanes_sym[l].next_fresh;
+      NoiseSource src{fresh_id};
+      const Affine out = form.relu(src);
+      lanes_sym[l].next_fresh = src.count();
+      if (fresh_slot == kNoSlot) {
+        fresh_slot = append_slot(cur, lanes_sym);
+      }
+      lanes_sym[l].slot_ids[fresh_slot] = fresh_id;
+      scatter_lane(cur, r, l, lanes_sym[l], out);
+    }
+  }
+}
+
+/// Propagate one chunk (<= kern::kMaxLanes lanes). `lane_forms[l]` are lane
+/// l's input forms, `lane_counts[l]` its NoiseSource position.
+std::vector<ZonotopeBounds> propagate_chunk(const Network& net,
+                                            const std::vector<std::vector<Affine>>& lane_forms,
+                                            const std::vector<std::uint32_t>& lane_counts,
+                                            kern::Isa isa) {
+  const std::size_t lanes = lane_forms.size();
+  const std::size_t in_dim = net.input_dim();
+  NNCS_SPAN_TAGGED("nn.zonotope_prop", "lanes", static_cast<std::int64_t>(lanes));
+
+  // Per-lane slot maps: the sorted union of the lane's input symbol ids.
+  std::vector<LaneSymbols> lanes_sym(lanes);
+  std::size_t n_slots = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<std::uint32_t> ids;
+    for (const Affine& form : lane_forms[l]) {
+      for (const auto& term : form.terms()) {
+        ids.push_back(term.first);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    lanes_sym[l].slot_ids = std::move(ids);
+    lanes_sym[l].next_fresh = lane_counts[l];
+    n_slots = std::max(n_slots, lanes_sym[l].slot_ids.size());
+  }
+  for (auto& lane : lanes_sym) {
+    lane.slot_ids.resize(n_slots, kNoSymbol);
+  }
+
+  // Preallocate both ping-pong buffers at the final shape: every hidden row
+  // may append one slot column, and any layer (or the input) sets the width.
+  std::size_t width_max = in_dim;
+  std::size_t hidden_rows = 0;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const std::size_t rows = net.layers()[li].weights.rows();
+    width_max = std::max(width_max, rows);
+    if (li + 1 < net.num_layers()) {
+      hidden_rows += rows;
+    }
+  }
+  const std::size_t capacity = n_slots + hidden_rows;
+  kern::AffineFormBatch cur;
+  kern::AffineFormBatch nxt;
+  cur.resize(width_max, capacity, lanes);
+  nxt.resize(width_max, capacity, lanes);
+  cur.width = in_dim;
+  cur.n_slots = n_slots;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t d = 0; d < in_dim; ++d) {
+      scatter_lane(cur, d, l, lanes_sym[l], lane_forms[l][d]);
+    }
+  }
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const Layer& layer = net.layers()[li];
+    kern::affine_form_layer(layer, cur, nxt, isa);
+    std::swap(cur, nxt);
+    if (li + 1 < net.num_layers()) {
+      relu_stage(cur, lanes_sym);
+    }
+  }
+
+  std::vector<ZonotopeBounds> results(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<Affine> outputs;
+    outputs.reserve(cur.width);
+    std::vector<Interval> dims;
+    dims.reserve(cur.width);
+    for (std::size_t r = 0; r < cur.width; ++r) {
+      outputs.push_back(extract_lane(cur, r, l, lanes_sym[l]));
+      dims.push_back(outputs.back().range());
+    }
+    results[l].outputs = std::move(outputs);
+    results[l].output_box = Box{std::move(dims)};
+  }
+  return results;
+}
+
+std::vector<ZonotopeBounds> propagate_batch_impl(
+    const Network& net, std::vector<std::vector<Affine>> lane_forms,
+    std::vector<std::uint32_t> lane_counts, kern::Isa isa) {
+  if (lane_forms.size() == 1) {
+    // Single-lane batches skip the SoA pack/extract entirely: the batched
+    // kernels execute the exact scalar op sequence per lane, so the scalar
+    // transformer returns bit-identical bounds and the bypass is purely a
+    // perf fix for width-1 net groups (e.g. ACAS Xu's per-advisory nets,
+    // where a symbolic set rarely holds same-net siblings).
+    NoiseSource source(lane_counts[0]);
+    std::vector<ZonotopeBounds> results;
+    results.push_back(zonotope_propagate(net, std::move(lane_forms[0]), source));
+    return results;
+  }
+  std::vector<ZonotopeBounds> results;
+  results.reserve(lane_forms.size());
+  for (std::size_t begin = 0; begin < lane_forms.size(); begin += kern::kMaxLanes) {
+    const std::size_t end = std::min(begin + kern::kMaxLanes, lane_forms.size());
+    const std::vector<std::vector<Affine>> chunk_forms(
+        std::make_move_iterator(lane_forms.begin() + static_cast<std::ptrdiff_t>(begin)),
+        std::make_move_iterator(lane_forms.begin() + static_cast<std::ptrdiff_t>(end)));
+    const std::vector<std::uint32_t> chunk_counts(
+        lane_counts.begin() + static_cast<std::ptrdiff_t>(begin),
+        lane_counts.begin() + static_cast<std::ptrdiff_t>(end));
+    auto chunk = propagate_chunk(net, chunk_forms, chunk_counts, isa);
+    for (auto& b : chunk) {
+      results.push_back(std::move(b));
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<ZonotopeBounds> zonotope_propagate_batch(const Network& net,
+                                                     const std::vector<Box>& inputs,
+                                                     kern::Isa isa) {
+  std::vector<std::vector<Affine>> lane_forms;
+  lane_forms.reserve(inputs.size());
+  std::vector<std::uint32_t> lane_counts;
+  lane_counts.reserve(inputs.size());
+  for (const Box& input : inputs) {
+    if (input.dim() != net.input_dim()) {
+      throw std::invalid_argument("zonotope_propagate: input dimension mismatch");
+    }
+    // Exactly the scalar boxed overload's lifting (same code, same source).
+    NoiseSource source;
+    std::vector<Affine> forms;
+    forms.reserve(input.dim());
+    for (std::size_t i = 0; i < input.dim(); ++i) {
+      forms.push_back(Affine::variable(input[i].lo(), input[i].hi(), source));
+    }
+    lane_forms.push_back(std::move(forms));
+    lane_counts.push_back(source.count());
+  }
+  return propagate_batch_impl(net, std::move(lane_forms), std::move(lane_counts), isa);
+}
+
+std::vector<ZonotopeBounds> zonotope_propagate_batch(const Network& net,
+                                                     const std::vector<Box>& inputs) {
+  return zonotope_propagate_batch(net, inputs, kern::active_isa());
+}
+
+std::vector<ZonotopeBounds> zonotope_propagate_batch(
+    const Network& net, const std::vector<const AffineSet*>& inputs, kern::Isa isa) {
+  std::vector<std::vector<Affine>> lane_forms;
+  lane_forms.reserve(inputs.size());
+  std::vector<std::uint32_t> lane_counts;
+  lane_counts.reserve(inputs.size());
+  for (const AffineSet* set : inputs) {
+    if (set == nullptr || set->dim() != net.input_dim()) {
+      throw std::invalid_argument("zonotope_propagate: input dimension mismatch");
+    }
+    lane_forms.push_back(set->components());
+    lane_counts.push_back(set->noise().count());
+  }
+  return propagate_batch_impl(net, std::move(lane_forms), std::move(lane_counts), isa);
+}
+
+std::vector<ZonotopeBounds> zonotope_propagate_batch(
+    const Network& net, const std::vector<const AffineSet*>& inputs) {
+  return zonotope_propagate_batch(net, inputs, kern::active_isa());
 }
 
 std::vector<std::size_t> possible_argmin(const ZonotopeBounds& bounds) {

@@ -148,7 +148,7 @@ class CruiseControlScenario final : public Scenario {
       for (std::size_t j = 0; j < p.axis1; ++j) {
         const double v_lo = kVrMin + static_cast<double>(j) * vr_width;
         Cell cell;
-        cell.state.box = Box{Interval{d_lo, d_lo + gap_width}, Interval{v_lo, v_lo + vr_width}};
+        cell.state.abstract = Box{Interval{d_lo, d_lo + gap_width}, Interval{v_lo, v_lo + vr_width}};
         cell.state.command = kCoastCommand;
         cell.bin_lo = d_lo;
         cell.bin_hi = d_lo + gap_width;

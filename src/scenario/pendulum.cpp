@@ -223,7 +223,7 @@ class PendulumScenario final : public Scenario {
       for (std::size_t j = 0; j < p.axis1; ++j) {
         const double omega_lo = -kInit + static_cast<double>(j) * omega_width;
         Cell cell;
-        cell.state.box = Box{Interval{theta_lo, theta_lo + theta_width},
+        cell.state.abstract = Box{Interval{theta_lo, theta_lo + theta_width},
                              Interval{omega_lo, omega_lo + omega_width}};
         cell.state.command = kZeroTorque;
         cell.bin_lo = theta_lo;

@@ -179,7 +179,7 @@ class UnicycleScenario final : public Scenario {
       for (std::size_t j = 0; j < p.axis1; ++j) {
         const double psi_lo = kHeadingMin + static_cast<double>(j) * heading_width;
         Cell cell;
-        cell.state.box = Box{Interval{0.0, 0.0}, Interval{y_lo, y_lo + offset_width},
+        cell.state.abstract = Box{Interval{0.0, 0.0}, Interval{y_lo, y_lo + offset_width},
                              Interval{psi_lo, psi_lo + heading_width}};
         cell.state.command = kStraightCommand;
         cell.bin_lo = y_lo;

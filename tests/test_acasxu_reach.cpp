@@ -104,7 +104,7 @@ TEST(AcasReach, SampledSetsStayOnPlausibleGeometry) {
       reach_analyze(f.loop, SymbolicSet{{cell, kCoc}}, f.error, f.target, f.config());
   for (std::size_t j = 0; j < result.sampled_sets.size(); ++j) {
     for (const auto& state : result.sampled_sets[j]) {
-      const Interval r = rho(state.box[kIdxX], state.box[kIdxY]);
+      const Interval r = rho(state.box()[kIdxX], state.box()[kIdxY]);
       ASSERT_LE(r.hi(), 8000.0 + 1300.0 * static_cast<double>(j) + 500.0);
     }
   }
@@ -142,7 +142,7 @@ TEST(AcasReach, RecordsOffendingStateOnFailure) {
   ASSERT_TRUE(result.offending.has_value());
   EXPECT_GE(result.offending_step, 0);
   // The offending enclosure really does touch the collision cylinder.
-  EXPECT_TRUE(f.error.possibly_intersects(result.offending->box, result.offending->command));
+  EXPECT_TRUE(f.error.possibly_intersects(result.offending->box(), result.offending->command));
 }
 
 }  // namespace

@@ -141,7 +141,7 @@ TEST(Engine, PartiallyDegenerateCellSplitsRemainingDims) {
   for (const CellOutcome& leaf : result.report.leaves) {
     EXPECT_EQ(leaf.depth, 1);
     // Only dimension 0 was split; the degenerate dimension is untouched.
-    EXPECT_EQ(leaf.initial.box[1], (Interval{2.0, 2.0}));
+    EXPECT_EQ(leaf.initial.box()[1], (Interval{2.0, 2.0}));
   }
 }
 

@@ -174,7 +174,7 @@ TEST(Integration, AcasXuMiniVerificationIsSoundAgainstSimulation) {
     for (int s = 0; s < 5; ++s) {
       Vec s0(ax::kStateDim);
       for (std::size_t d = 0; d < ax::kStateDim; ++d) {
-        s0[d] = rng.uniform(leaf.initial.box[d].lo(), leaf.initial.box[d].hi());
+        s0[d] = rng.uniform(leaf.initial.box()[d].lo(), leaf.initial.box()[d].hi());
       }
       const auto sim = simulate_closed_loop(system, s0, leaf.initial.command, error, target,
                                             20, 20);

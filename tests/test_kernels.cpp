@@ -10,13 +10,16 @@
 #include <cfloat>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/controller.hpp"
+#include "interval/affine_set.hpp"
 #include "nn/interval_prop.hpp"
 #include "nn/kernels.hpp"
 #include "nn/symbolic_prop.hpp"
 #include "nn/trainer.hpp"
+#include "nn/zonotope_prop.hpp"
 #include "util/rng.hpp"
 
 namespace nncs {
@@ -229,6 +232,114 @@ TEST(Kernels, BatchedTransformersContainConcreteSamples) {
   }
 }
 
+::testing::AssertionResult affines_bitwise_eq(const Affine& a, const Affine& b) {
+  if (bits_of(a.center()) != bits_of(b.center())) {
+    return ::testing::AssertionFailure()
+           << "center " << a.center() << " != " << b.center() << " (bitwise)";
+  }
+  if (bits_of(a.error()) != bits_of(b.error())) {
+    return ::testing::AssertionFailure()
+           << "err " << a.error() << " != " << b.error() << " (bitwise)";
+  }
+  if (a.terms().size() != b.terms().size()) {
+    return ::testing::AssertionFailure()
+           << "term count " << a.terms().size() << " != " << b.terms().size();
+  }
+  for (std::size_t t = 0; t < a.terms().size(); ++t) {
+    if (a.terms()[t].first != b.terms()[t].first ||
+        bits_of(a.terms()[t].second) != bits_of(b.terms()[t].second)) {
+      return ::testing::AssertionFailure()
+             << "term " << t << ": (" << a.terms()[t].first << ", " << a.terms()[t].second
+             << ") != (" << b.terms()[t].first << ", " << b.terms()[t].second << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult zonotopes_bitwise_eq(const ZonotopeBounds& a,
+                                                const ZonotopeBounds& b) {
+  if (a.outputs.size() != b.outputs.size()) {
+    return ::testing::AssertionFailure()
+           << "output count " << a.outputs.size() << " != " << b.outputs.size();
+  }
+  for (std::size_t r = 0; r < a.outputs.size(); ++r) {
+    const auto eq = affines_bitwise_eq(a.outputs[r], b.outputs[r]);
+    if (!eq) {
+      return ::testing::AssertionFailure() << "output " << r << ": " << eq.message();
+    }
+  }
+  return boxes_bitwise_eq(a.output_box, b.output_box);
+}
+
+TEST(Kernels, ZonotopeBoxBatchBitwiseEqualsScalar) {
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {3, 8, 8, 2}, {2, 5, 5, 5, 3}, {1, 4, 1}, {5, 16, 5}};
+  for (const kern::Isa isa : compiled_isas()) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      const Network net = random_network(500 + s, shapes[s]);
+      Rng rng(600 + s);
+      std::vector<Box> inputs;
+      for (int k = 0; k < 19; ++k) {
+        inputs.push_back(random_box(rng, net.input_dim()));
+      }
+      // A within-batch duplicate must not perturb its neighbours' lanes.
+      inputs.push_back(inputs.front());
+      const std::vector<ZonotopeBounds> batched = zonotope_propagate_batch(net, inputs, isa);
+      ASSERT_EQ(batched.size(), inputs.size());
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const ZonotopeBounds scalar = zonotope_propagate(net, inputs[i]);
+        EXPECT_TRUE(zonotopes_bitwise_eq(batched[i], scalar))
+            << "isa=" << to_string(isa) << " shape=" << s << " input=" << i;
+        // The command-pruning consumers must agree too (they are a pure
+        // function of the forms, but this pins the end-to-end contract).
+        EXPECT_EQ(possible_argmin(batched[i]), possible_argmin(scalar));
+        EXPECT_EQ(possible_argmax(batched[i]), possible_argmax(scalar));
+      }
+    }
+  }
+}
+
+TEST(Kernels, ZonotopeRelationalBatchBitwiseEqualsScalar) {
+  const std::vector<std::vector<std::size_t>> shapes = {{3, 8, 8, 2}, {2, 5, 5, 5, 3}, {5, 16, 5}};
+  for (const kern::Isa isa : compiled_isas()) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      const Network net = random_network(700 + s, shapes[s]);
+      Rng rng(800 + s);
+      const std::size_t dim = net.input_dim();
+      std::vector<AffineSet> sets;
+      for (int k = 0; k < 15; ++k) {
+        // Correlated inputs: lift a box, then mix the dimensions through a
+        // random interval linear image so the forms share noise symbols
+        // (the shape the integrator hands the controller).
+        AffineSet set = AffineSet::from_box(random_box(rng, dim));
+        IntervalMatrix m(dim, dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+          for (std::size_t c = 0; c < dim; ++c) {
+            const double mid = (r == c) ? 1.0 : rng.uniform(-0.4, 0.4);
+            const double rad = rng.chance(0.5) ? 0.0 : 1e-6;
+            m.at(r, c) = Interval{mid - rad, mid + rad};
+          }
+        }
+        sets.push_back(set.linear_image(m));
+      }
+      std::vector<const AffineSet*> ptrs;
+      ptrs.reserve(sets.size());
+      for (const AffineSet& set : sets) {
+        ptrs.push_back(&set);
+      }
+      const std::vector<ZonotopeBounds> batched = zonotope_propagate_batch(net, ptrs, isa);
+      ASSERT_EQ(batched.size(), sets.size());
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        NoiseSource scratch = sets[i].noise();
+        const ZonotopeBounds scalar = zonotope_propagate(net, sets[i].components(), scratch);
+        EXPECT_TRUE(zonotopes_bitwise_eq(batched[i], scalar))
+            << "isa=" << to_string(isa) << " shape=" << s << " input=" << i;
+        EXPECT_EQ(possible_argmin(batched[i]), possible_argmin(scalar));
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Controller-level identity: step_abstract_batch vs a scalar step loop.
 
@@ -268,8 +379,9 @@ void expect_batch_matches_scalar(NnDomain domain, NnCacheMode cache_mode) {
   // hit and the batch's dedup must replay the same result.
   states.push_back(states[2]);
   commands.push_back(commands[2]);
+  const std::vector<AbstractState> abstract_states(states.begin(), states.end());
   const std::vector<AbstractControlStep> batched =
-      batch_ctrl.step_abstract_batch(states, commands);
+      batch_ctrl.step_abstract_batch(abstract_states, commands);
   ASSERT_EQ(batched.size(), states.size());
   for (std::size_t i = 0; i < states.size(); ++i) {
     const AbstractControlStep scalar = scalar_ctrl.step_abstract(states[i], commands[i]);
@@ -297,8 +409,61 @@ TEST(ControllerBatch, IntervalMemoCache) {
   expect_batch_matches_scalar(NnDomain::kInterval, NnCacheMode::kMemo);
 }
 
-TEST(ControllerBatch, AffineDomainFallsBackToScalarLoop) {
+TEST(ControllerBatch, AffineDomainNoCache) {
+  // Box states in the affine domain batch through the zonotope SoA kernel
+  // (no scalar fallback remains for this domain).
   expect_batch_matches_scalar(NnDomain::kAffine, NnCacheMode::kOff);
+}
+
+TEST(ControllerBatch, AffineDomainMemoCache) {
+  expect_batch_matches_scalar(NnDomain::kAffine, NnCacheMode::kMemo);
+}
+
+TEST(ControllerBatch, RelationalStatesMatchScalarRelationalStep) {
+  // Abstract states carrying relational parts must batch bit-identically to
+  // the scalar relational step — for every NN domain, since relational
+  // queries always route through the zonotope transformer.
+  for (const NnDomain domain : {NnDomain::kSymbolic, NnDomain::kAffine, NnDomain::kInterval}) {
+    const NeuralController scalar_ctrl = make_controller(domain, NnCacheMode::kMemo, 920);
+    const NeuralController batch_ctrl = make_controller(domain, NnCacheMode::kMemo, 920);
+    Rng rng(921);
+    std::vector<AbstractState> states;
+    std::vector<std::shared_ptr<const AffineSet>> sets;
+    std::vector<std::size_t> commands;
+    for (int k = 0; k < 9; ++k) {
+      const Box box = random_box(rng, 3);
+      AffineSet set = AffineSet::from_box(box);
+      if (k % 2 == 0) {
+        // Half the states carry genuine correlations (non-diagonal image).
+        IntervalMatrix m(3, 3);
+        for (std::size_t r = 0; r < 3; ++r) {
+          for (std::size_t c = 0; c < 3; ++c) {
+            m.at(r, c) = Interval{r == c ? 1.0 : rng.uniform(-0.3, 0.3)};
+          }
+        }
+        set = set.linear_image(m);
+      }
+      auto shared = std::make_shared<const AffineSet>(std::move(set));
+      states.emplace_back(shared->concretize(), shared);
+      sets.push_back(shared);
+      commands.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+    }
+    // Interleave a box-only state: mixed batches must keep both paths apart.
+    states.emplace_back(random_box(rng, 3));
+    sets.push_back(nullptr);
+    commands.push_back(static_cast<std::size_t>(rng.uniform_int(0, 3)));
+    const std::vector<AbstractControlStep> batched =
+        batch_ctrl.step_abstract_batch(states, commands);
+    ASSERT_EQ(batched.size(), states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const AbstractControlStep scalar =
+          sets[i] ? scalar_ctrl.step_abstract_relational(*sets[i], commands[i])
+                  : scalar_ctrl.step_abstract(states[i].box(), commands[i]);
+      EXPECT_EQ(batched[i].commands, scalar.commands) << "state " << i;
+      EXPECT_TRUE(boxes_bitwise_eq(batched[i].network_input, scalar.network_input)) << i;
+      EXPECT_TRUE(boxes_bitwise_eq(batched[i].network_output, scalar.network_output)) << i;
+    }
+  }
 }
 
 TEST(ControllerBatch, BaseDefaultLoopsScalarStep) {
@@ -329,15 +494,16 @@ TEST(ControllerBatch, BaseDefaultLoopsScalarStep) {
     const NeuralController& inner_;
   };
   const Wrapper wrapper(ctrl);
+  const std::vector<AbstractState> abstract_states(states.begin(), states.end());
   const std::vector<AbstractControlStep> batched =
-      wrapper.step_abstract_batch(states, commands);
+      wrapper.step_abstract_batch(abstract_states, commands);
   ASSERT_EQ(batched.size(), states.size());
   for (std::size_t i = 0; i < states.size(); ++i) {
     const AbstractControlStep scalar = ctrl.step_abstract(states[i], commands[i]);
     EXPECT_EQ(batched[i].commands, scalar.commands);
     EXPECT_TRUE(boxes_bitwise_eq(batched[i].network_output, scalar.network_output));
   }
-  EXPECT_THROW((void)wrapper.step_abstract_batch(states, {0}), std::invalid_argument);
+  EXPECT_THROW((void)wrapper.step_abstract_batch(abstract_states, {0}), std::invalid_argument);
 }
 
 }  // namespace

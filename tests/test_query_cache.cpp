@@ -15,6 +15,7 @@
 #include "closed_loop_fixtures.hpp"
 #include "core/engine.hpp"
 #include "core/report_io.hpp"
+#include "interval/affine_set.hpp"
 #include "nn/query_cache.hpp"
 #include "util/rng.hpp"
 
@@ -265,6 +266,101 @@ TEST(QueryCache, ContainmentReuseIsSoundOnSampledPoints) {
   for (int i = 0; i < 200; ++i) {
     const Vec point{rng.uniform(child[0].lo(), child[0].hi()),
                     rng.uniform(child[1].lo(), child[1].hi())};
+    const std::size_t cmd = ctrl->step(point, 0);
+    EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
+              reused.commands.end());
+  }
+}
+
+TEST(QueryCache, ContainmentAffineDomainReuseNeverOverPrunes) {
+  // Affine-domain containment reuse restricts a cached box-valid zonotope
+  // propagation to the child's sub-ranges. The restricted bounds are valid
+  // for the child but generally looser than a fresh propagation of the
+  // child itself, so the reused command set may only be a superset of what
+  // full propagation keeps — never prune a command it would retain.
+  const auto ctrl = threshold_controller(5.0, -8.0, NnDomain::kAffine);
+  NnCacheConfig cache;
+  cache.mode = NnCacheMode::kContainment;
+  ctrl->configure_cache(cache);
+  const auto fresh = threshold_controller(5.0, -8.0, NnDomain::kAffine);
+  fresh->configure_cache(NnCacheConfig{NnCacheMode::kOff});
+
+  const Box parent{Interval{0.0, 2.0}, Interval{-1.0, 1.0}};
+  (void)ctrl->step_abstract(parent, 0);  // populate with the covering entry
+  const Box child{Interval{0.5, 1.0}, Interval{0.0, 0.5}};
+  const AbstractControlStep reused = ctrl->step_abstract(child, 0);
+  ASSERT_NE(ctrl->query_cache(), nullptr);
+  EXPECT_EQ(ctrl->query_cache()->stats().containment_hits, 1u)
+      << "child box should reuse the parent's affine propagation";
+
+  const AbstractControlStep full = fresh->step_abstract(child, 0);
+  for (const std::size_t cmd : full.commands) {
+    EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
+              reused.commands.end())
+        << "reuse pruned command " << cmd << " that full propagation keeps";
+  }
+  // And concrete soundness on sampled points.
+  Rng rng(101);
+  for (int i = 0; i < 200; ++i) {
+    const Vec point{rng.uniform(child[0].lo(), child[0].hi()),
+                    rng.uniform(child[1].lo(), child[1].hi())};
+    const std::size_t cmd = ctrl->step(point, 0);
+    EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
+              reused.commands.end());
+  }
+}
+
+TEST(QueryCache, ContainmentRelationalReuseNeverOverPrunes) {
+  // The relational (zonotope loop domain) query path never replays exact
+  // matches — a hull cannot identify a zonotope — but may reuse a covering
+  // box-valid propagation in containment mode. Same contract as the box
+  // path: the reused command set must contain every command a full
+  // relational propagation of the same set keeps.
+  const auto ctrl = threshold_controller(5.0, -8.0, NnDomain::kAffine);
+  NnCacheConfig cache;
+  cache.mode = NnCacheMode::kContainment;
+  ctrl->configure_cache(cache);
+  const auto fresh = threshold_controller(5.0, -8.0, NnDomain::kAffine);
+  fresh->configure_cache(NnCacheConfig{NnCacheMode::kOff});
+
+  // Populate: a box-lifted parent set is box-valid, so its propagation is
+  // cached with a reusable affine payload under the relational domain tag.
+  const Box parent{Interval{0.0, 2.0}, Interval{-1.0, 1.0}};
+  (void)ctrl->step_abstract_relational(AffineSet::from_box(parent), 0);
+
+  // Query: a correlated child set whose hull sits inside the parent.
+  AffineSet child = AffineSet::from_box(Box{Interval{0.5, 1.0}, Interval{0.0, 0.4}});
+  IntervalMatrix mix(2, 2);
+  mix.at(0, 0) = Interval{1.0};
+  mix.at(0, 1) = Interval{0.2};
+  mix.at(1, 0) = Interval{-0.1};
+  mix.at(1, 1) = Interval{1.0};
+  child = child.linear_image(mix);
+  ASSERT_TRUE(parent.contains(child.concretize()));
+
+  const AbstractControlStep reused = ctrl->step_abstract_relational(child, 0);
+  const AbstractControlStep full = fresh->step_abstract_relational(child, 0);
+  for (const std::size_t cmd : full.commands) {
+    EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
+              reused.commands.end())
+        << "relational reuse pruned command " << cmd
+        << " that full propagation keeps";
+  }
+  ASSERT_NE(ctrl->query_cache(), nullptr);
+  const auto stats = ctrl->query_cache()->stats();
+  // Either the reuse pruned (containment hit) or it fell back to the full
+  // propagation (reuse fallback); both are sound, silence is a bug.
+  EXPECT_GE(stats.containment_hits + stats.reuse_fallbacks, 1u);
+
+  // Concrete soundness: sample points from the child zonotope itself.
+  Rng rng(102);
+  const Box hull = child.concretize();
+  for (int i = 0; i < 200; ++i) {
+    const Vec point{rng.uniform(hull[0].lo(), hull[0].hi()),
+                    rng.uniform(hull[1].lo(), hull[1].hi())};
+    if (!hull.contains(point)) {
+      continue;
+    }
     const std::size_t cmd = ctrl->step(point, 0);
     EXPECT_NE(std::find(reused.commands.begin(), reused.commands.end(), cmd),
               reused.commands.end());

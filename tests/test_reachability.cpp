@@ -236,7 +236,7 @@ TEST_P(ReachabilitySoundness, SampledTrajectoriesCoveredAtSampleInstants) {
     for (int j = 0; j <= q; ++j) {
       bool covered = false;
       for (const auto& sym : result.sampled_sets[j]) {
-        if (sym.command == cmd && sym.box.contains(s)) {
+        if (sym.command == cmd && sym.box().contains(s)) {
           covered = true;
           break;
         }
@@ -297,10 +297,10 @@ TEST(ReachabilityLoopDomain, ZonotopeSoundAtSampleInstants) {
     for (int j = 0; j <= q; ++j) {
       bool covered = false;
       for (const auto& sym : result.sampled_sets[j]) {
-        if (sym.command == cmd && sym.box.contains(s)) {
+        if (sym.command == cmd && sym.box().contains(s)) {
           // A carried relational refinement must agree with its own box.
-          if (sym.relational != nullptr) {
-            EXPECT_TRUE(sym.box.contains(sym.relational->concretize()));
+          if (sym.abstract.has_relational()) {
+            EXPECT_TRUE(sym.box().contains(sym.abstract.relational()->concretize()));
           }
           covered = true;
           break;
@@ -339,9 +339,9 @@ TEST(ReachabilityLoopDomain, ZonotopeTighterThanBoxOnRotation) {
   // the zonotope stays at the initial widths (~0.2) while the boxed loop
   // wraps at every sub-step and blows up by a large factor over 6 periods.
   const auto hull_width = [](const SymbolicSet& set, std::size_t dim) {
-    Interval hull = set.front().box[dim];
+    Interval hull = set.front().box()[dim];
     for (const auto& sym : set) {
-      hull = nncs::hull(hull, sym.box[dim]);
+      hull = nncs::hull(hull, sym.box()[dim]);
     }
     return hull.width();
   };

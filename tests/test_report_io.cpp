@@ -30,7 +30,7 @@ VerifyReport sample_report() {
   a.stats.phases.controller_seconds = 0.125;
   a.stats.phases.join_seconds = 0.0625;
   a.stats.phases.check_seconds = 0.03125;
-  a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3, nullptr};
+  a.initial = SymbolicState{Box{Interval{-1.0, 2.0}, Interval{0.125, 0.25}}, 3};
   CellOutcome b;
   b.root_index = 2;
   b.depth = 1;
@@ -76,7 +76,7 @@ TEST(ReportIo, RoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(loaded.leaves[i].stats.phases.check_seconds,
                      original.leaves[i].stats.phases.check_seconds);
     EXPECT_EQ(loaded.leaves[i].initial.command, original.leaves[i].initial.command);
-    EXPECT_EQ(loaded.leaves[i].initial.box, original.leaves[i].initial.box);
+    EXPECT_EQ(loaded.leaves[i].initial.box(), original.leaves[i].initial.box());
   }
 }
 
@@ -105,9 +105,9 @@ TEST(ReportIo, LoadsLegacyV1WithZeroStats) {
   EXPECT_EQ(leaf.stats.total_simulations, 0u);
   EXPECT_DOUBLE_EQ(leaf.stats.phases.total(), 0.0);
   EXPECT_EQ(leaf.initial.command, 3u);
-  ASSERT_EQ(leaf.initial.box.dim(), 2u);
-  EXPECT_DOUBLE_EQ(leaf.initial.box[0].lo(), -1.0);
-  EXPECT_DOUBLE_EQ(leaf.initial.box[1].hi(), 0.625);
+  ASSERT_EQ(leaf.initial.box().dim(), 2u);
+  EXPECT_DOUBLE_EQ(leaf.initial.box()[0].lo(), -1.0);
+  EXPECT_DOUBLE_EQ(leaf.initial.box()[1].hi(), 0.625);
 }
 
 TEST(ReportIo, FileRoundTrip) {
@@ -142,24 +142,24 @@ TEST(ReportIo, UnknownOutcomeThrows) {
 
 TEST(ReportIo, NumbersRoundTripBitExact) {
   VerifyReport report = sample_report();
-  report.leaves[0].initial.box = Box{Interval{0.1, 0.30000000000000004}};
+  report.leaves[0].initial.abstract = Box{Interval{0.1, 0.30000000000000004}};
   std::stringstream buffer;
   save_report(report, buffer);
   const VerifyReport loaded = load_report(buffer);
-  EXPECT_EQ(loaded.leaves[0].initial.box[0].lo(), 0.1);
-  EXPECT_EQ(loaded.leaves[0].initial.box[0].hi(), 0.30000000000000004);
+  EXPECT_EQ(loaded.leaves[0].initial.box()[0].lo(), 0.1);
+  EXPECT_EQ(loaded.leaves[0].initial.box()[0].hi(), 0.30000000000000004);
 }
 
 TEST(ReportIo, SubnormalBoundsRoundTripBitExact) {
   // Box bounds near zero can be subnormal (scenario generators produce
   // them); std::stod would reject these as out-of-range.
   VerifyReport report = sample_report();
-  report.leaves[0].initial.box = Box{Interval{-1.5810594732565731e-319, 4.9406564584124654e-324}};
+  report.leaves[0].initial.abstract = Box{Interval{-1.5810594732565731e-319, 4.9406564584124654e-324}};
   std::stringstream buffer;
   save_report(report, buffer);
   const VerifyReport loaded = load_report(buffer);
-  EXPECT_EQ(loaded.leaves[0].initial.box[0].lo(), -1.5810594732565731e-319);
-  EXPECT_EQ(loaded.leaves[0].initial.box[0].hi(), 4.9406564584124654e-324);
+  EXPECT_EQ(loaded.leaves[0].initial.box()[0].lo(), -1.5810594732565731e-319);
+  EXPECT_EQ(loaded.leaves[0].initial.box()[0].hi(), 4.9406564584124654e-324);
 }
 
 TEST(ReportIo, CancelledOutcomeRoundTrips) {
@@ -215,7 +215,7 @@ TEST(ReportIo, CheckpointRoundTripPreservesEverything) {
   for (std::size_t i = 0; i < loaded.leaves.size(); ++i) {
     EXPECT_EQ(loaded.leaves[i].root_index, original.leaves[i].root_index);
     EXPECT_EQ(loaded.leaves[i].outcome, original.leaves[i].outcome);
-    EXPECT_EQ(loaded.leaves[i].initial.box, original.leaves[i].initial.box);
+    EXPECT_EQ(loaded.leaves[i].initial.box(), original.leaves[i].initial.box());
   }
   ASSERT_EQ(loaded.frontier.size(), original.frontier.size());
   for (std::size_t i = 0; i < loaded.frontier.size(); ++i) {
@@ -224,7 +224,7 @@ TEST(ReportIo, CheckpointRoundTripPreservesEverything) {
     EXPECT_EQ(loaded.frontier[i].cell.command, original.frontier[i].cell.command);
     // Bit-exact boxes: resume must analyze exactly the cells that were
     // pending, or the merged report drifts from the uninterrupted one.
-    EXPECT_EQ(loaded.frontier[i].cell.box, original.frontier[i].cell.box);
+    EXPECT_EQ(loaded.frontier[i].cell.box(), original.frontier[i].cell.box());
   }
 }
 

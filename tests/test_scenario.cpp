@@ -119,7 +119,7 @@ TEST(ScenarioCells, DeterministicAcrossCalls) {
     ASSERT_EQ(a.size(), b.size());
     ASSERT_EQ(a.size(), 4u * 3u);
     for (std::size_t i = 0; i < a.size(); ++i) {
-      EXPECT_EQ(a[i].state.box, b[i].state.box);
+      EXPECT_EQ(a[i].state.box(), b[i].state.box());
       EXPECT_EQ(a[i].state.command, b[i].state.command);
       EXPECT_EQ(a[i].bin_lo, b[i].bin_lo);
       EXPECT_EQ(a[i].bin_hi, b[i].bin_hi);
@@ -136,7 +136,7 @@ TEST(ScenarioCells, AcasxuMatchesLegacyGenerator) {
   const auto legacy = acasxu::make_initial_cells(config);
   ASSERT_EQ(cells.size(), legacy.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    EXPECT_EQ(cells[i].state.box, legacy[i].state.box);
+    EXPECT_EQ(cells[i].state.box(), legacy[i].state.box());
     EXPECT_EQ(cells[i].state.command, legacy[i].state.command);
     EXPECT_EQ(cells[i].bin_lo, legacy[i].bearing_lo);
     EXPECT_EQ(cells[i].bin_hi, legacy[i].bearing_hi);
@@ -148,7 +148,7 @@ TEST(ScenarioCells, ToSymbolicSetStripsBinMetadata) {
   const SymbolicSet set = to_symbolic_set(cells);
   ASSERT_EQ(set.size(), cells.size());
   for (std::size_t i = 0; i < set.size(); ++i) {
-    EXPECT_EQ(set[i].box, cells[i].state.box);
+    EXPECT_EQ(set[i].box(), cells[i].state.box());
     EXPECT_EQ(set[i].command, cells[i].state.command);
   }
 }

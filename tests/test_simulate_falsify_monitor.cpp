@@ -173,8 +173,8 @@ TEST(Falsifier, ValidatesConfigAndArguments) {
 
 TEST(Monitor, AnswersFromProvedCells) {
   std::vector<SymbolicState> proved{
-      {Box{Interval{0.0, 1.0}, Interval{0.0, 1.0}}, 0, nullptr},
-      {Box{Interval{2.0, 3.0}, Interval{0.0, 1.0}}, 1, nullptr},
+      {Box{Interval{0.0, 1.0}, Interval{0.0, 1.0}}, 0},
+      {Box{Interval{2.0, 3.0}, Interval{0.0, 1.0}}, 1},
   };
   const SafetyMonitor monitor(std::move(proved));
   EXPECT_EQ(monitor.num_cells(), 2u);

@@ -3,14 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/symbolic_state.hpp"
+#include "interval/affine_set.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace nncs {
 namespace {
 
 SymbolicState state(double lo0, double hi0, double lo1, double hi1, std::size_t cmd) {
-  return SymbolicState{Box{Interval{lo0, hi0}, Interval{lo1, hi1}}, cmd, nullptr};
+  return SymbolicState{Box{Interval{lo0, hi0}, Interval{lo1, hi1}}, cmd};
 }
 
 TEST(SymbolicState, DistanceIsBetweenCenters) {
@@ -30,15 +34,44 @@ TEST(SymbolicState, JoinIsSmallestCoveringState) {
   const auto b = state(2.0, 3.0, -1.0, 0.5, 2);
   const auto j = join(a, b);
   EXPECT_EQ(j.command, 2u);
-  EXPECT_TRUE(j.box.contains(a.box));
-  EXPECT_TRUE(j.box.contains(b.box));
-  EXPECT_EQ(j.box[0].lo(), 0.0);
-  EXPECT_EQ(j.box[0].hi(), 3.0);
-  EXPECT_EQ(j.box[1].lo(), -1.0);
+  EXPECT_TRUE(j.box().contains(a.box()));
+  EXPECT_TRUE(j.box().contains(b.box()));
+  EXPECT_EQ(j.box()[0].lo(), 0.0);
+  EXPECT_EQ(j.box()[0].hi(), 3.0);
+  EXPECT_EQ(j.box()[1].lo(), -1.0);
 }
 
 TEST(SymbolicState, JoinRequiresSameCommand) {
   EXPECT_THROW(join(state(0, 1, 0, 1, 0), state(0, 1, 0, 1, 1)), std::invalid_argument);
+}
+
+TEST(SymbolicState, JoinDemotesRelationalPartAndCountsTheDrop) {
+  // A join can only produce the hull box — reusing either input's affine set
+  // for the union would be unsound. The demotion is observable via the
+  // core.join_relational_drops counter.
+  SymbolicState a = state(0.0, 1.0, 0.0, 1.0, 2);
+  const SymbolicState b = state(2.0, 3.0, -1.0, 0.5, 2);
+  a.abstract = AbstractState{a.box(), std::make_shared<const AffineSet>(AffineSet::from_box(a.box()))};
+  ASSERT_TRUE(a.abstract.has_relational());
+
+  obs::set_enabled(true);
+  const auto drops_before =
+      obs::Registry::instance().snapshot().counter("core.join_relational_drops");
+  const SymbolicState joined = join(a, b);
+  const auto drops_after =
+      obs::Registry::instance().snapshot().counter("core.join_relational_drops");
+
+  EXPECT_FALSE(joined.abstract.has_relational());
+  EXPECT_TRUE(joined.box().contains(a.box()));
+  EXPECT_TRUE(joined.box().contains(b.box()));
+  EXPECT_EQ(drops_after, drops_before + 1);
+
+  // A box-only join must not touch the counter.
+  const SymbolicState joined_boxes = join(b, state(4.0, 5.0, 0.0, 1.0, 2));
+  obs::set_enabled(false);
+  EXPECT_FALSE(joined_boxes.abstract.has_relational());
+  EXPECT_EQ(obs::Registry::instance().snapshot().counter("core.join_relational_drops"),
+            drops_after);
 }
 
 TEST(Resize, NoOpWhenUnderThreshold) {
@@ -58,7 +91,7 @@ TEST(Resize, JoinsClosestPairFirst) {
   // The far state must be untouched.
   bool far_untouched = false;
   for (const auto& s : set) {
-    if (s.box[0].lo() == 100.0 && s.box[0].hi() == 101.0) {
+    if (s.box()[0].lo() == 100.0 && s.box()[0].hi() == 101.0) {
       far_untouched = true;
     }
   }
@@ -107,11 +140,11 @@ TEST(ResizeProperty, UnionCoverageIsPreserved) {
     // state with the same command in the resized set.
     for (const auto& old_state : before) {
       for (int s = 0; s < 10; ++s) {
-        const Vec p{rng.uniform(old_state.box[0].lo(), old_state.box[0].hi()),
-                    rng.uniform(old_state.box[1].lo(), old_state.box[1].hi())};
+        const Vec p{rng.uniform(old_state.box()[0].lo(), old_state.box()[0].hi()),
+                    rng.uniform(old_state.box()[1].lo(), old_state.box()[1].hi())};
         bool covered = false;
         for (const auto& new_state : set) {
-          if (new_state.command == old_state.command && new_state.box.contains(p)) {
+          if (new_state.command == old_state.command && new_state.box().contains(p)) {
             covered = true;
             break;
           }

@@ -206,8 +206,8 @@ TEST(Verifier, WidestDimStrategyBisectsOneDimensionPerLevel) {
   // Every refinement level halves exactly one dimension: a depth-d leaf has
   // total halvings a + b = d with widths root/2^a x root/2^b.
   for (const auto& leaf : report.leaves) {
-    const double a = std::log2(cells[0].box[0].width() / leaf.initial.box[0].width());
-    const double b = std::log2(cells[0].box[1].width() / leaf.initial.box[1].width());
+    const double a = std::log2(cells[0].box()[0].width() / leaf.initial.box()[0].width());
+    const double b = std::log2(cells[0].box()[1].width() / leaf.initial.box()[1].width());
     EXPECT_NEAR(a + b, leaf.depth, 1e-9);
     EXPECT_GE(a, -1e-9);
     EXPECT_GE(b, -1e-9);

@@ -72,7 +72,12 @@ if [ "$run_bench" -eq 1 ]; then
       && build-ci/bench/bench_canonical --nets acasxu_nets_cache --artifact-dir build-ci/bench-out \
       && build-ci/tools/nncs_bench_compare --max-regress 300 \
           bench/baselines/BENCH_canonical_acasxu.json \
-          build-ci/bench-out/BENCH_canonical_acasxu.json; then
+          build-ci/bench-out/BENCH_canonical_acasxu.json \
+      && build-ci/bench/bench_canonical --domain zonotope \
+          --nets acasxu_nets_cache --artifact-dir build-ci/bench-out \
+      && build-ci/tools/nncs_bench_compare --max-regress 300 \
+          bench/baselines/BENCH_canonical_acasxu_zonotope.json \
+          build-ci/bench-out/BENCH_canonical_acasxu_zonotope.json; then
     note "perf-gate OK"
   else
     stage_fail "perf-gate"

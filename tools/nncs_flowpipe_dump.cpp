@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   config.integrator = &integrator;
   config.record_flowpipes = true;
   const auto result =
-      reach_analyze(system, SymbolicSet{{cell, ax::kCoc, nullptr}}, error, target, config);
+      reach_analyze(system, SymbolicSet{{cell, ax::kCoc}}, error, target, config);
 
   std::fprintf(stderr, "outcome: %s after %d steps\n", to_string(result.outcome),
                result.stats.steps_executed);

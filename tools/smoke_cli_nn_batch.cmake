@@ -10,6 +10,8 @@
 #   3. `NNCS_NN_SIMD=portable` forces the non-AVX2 back end and still
 #      byte-matches — lane arithmetic is identical across ISAs
 #   4. `NNCS_NN_BATCH=4` (env knob) also byte-matches the flagged runs
+#   5. `--domain zonotope` batched runs byte-match scalar relational
+#      stepping, on the dispatched and the portable ISA back end
 #
 # Required -D variables: VERIFY (binary), NETS (acasxu network cache dir),
 # OUT (scratch directory).
@@ -72,3 +74,20 @@ if(NOT code EQUAL 0)
   message(FATAL_ERROR "NNCS_NN_BATCH=4 run failed (${code}):\n${stdout}\n${stderr}")
 endif()
 expect_identical("NNCS_NN_BATCH=4 vs --nn-batch 1" ${OUT}/env4.csv ${OUT}/batch1.csv)
+
+# 5. Zonotope loop domain: batched relational queries go through the SoA
+#    zonotope transformer and must byte-match scalar relational stepping,
+#    on both ISA back ends (the same contract as legs 1/3, on the
+#    relational path).
+run_cli("zonotope scalar (--domain zonotope --nn-batch 1)" ${VERIFY} ${FLAGS}
+  --domain zonotope --nn-batch 1 --report ${OUT}/zono1.csv)
+run_cli("zonotope batched (--domain zonotope --nn-batch 8)" ${VERIFY} ${FLAGS}
+  --domain zonotope --nn-batch 8 --report ${OUT}/zono8.csv)
+expect_identical("zonotope --nn-batch 1 vs 8" ${OUT}/zono1.csv ${OUT}/zono8.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E env NNCS_NN_SIMD=portable
+  ${VERIFY} ${FLAGS} --domain zonotope --nn-batch 8 --report ${OUT}/zono_portable.csv
+  RESULT_VARIABLE code OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "zonotope portable run failed (${code}):\n${stdout}\n${stderr}")
+endif()
+expect_identical("zonotope avx2/auto vs portable" ${OUT}/zono8.csv ${OUT}/zono_portable.csv)

@@ -535,6 +535,23 @@ int verify_driver_main(int argc, char** argv, const DriverOptions& options) {
                 static_cast<unsigned long long>(cs.reuse_fallbacks),
                 static_cast<unsigned long long>(cs.evictions), cs.entries);
   }
+  {
+    // Degradation counters of the relational loop: integrator steps that
+    // fell back to the boxed remainder (ode.affine_boxed_fallbacks),
+    // per-dimension boxed clamps inside otherwise-affine steps
+    // (ode.affine_dim_fallbacks), and Γ-joins that demoted a relational
+    // state to its hull box (core.join_relational_drops). All zero in the
+    // box domain; nonzero values explain precision loss in zonotope runs.
+    const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    const unsigned long long boxed_steps = snap.counter("ode.affine_boxed_fallbacks");
+    const unsigned long long dim_clamps = snap.counter("ode.affine_dim_fallbacks");
+    const unsigned long long join_drops = snap.counter("core.join_relational_drops");
+    if (boxed_steps + dim_clamps + join_drops > 0) {
+      std::printf("relational fallbacks: %llu boxed ODE steps, %llu dim clamps, "
+                  "%llu join drops\n",
+                  boxed_steps, dim_clamps, join_drops);
+    }
+  }
 
   if (!quiet) {
     // Per-bin summary over the scenario's bin axis (ACAS Xu: the Fig 9b
